@@ -1,0 +1,239 @@
+// Command geosim runs the paper's experiments and prints the series and
+// summary statistics that regenerate its tables and figures.
+//
+// Usage:
+//
+//	geosim -list
+//	geosim -experiment fig7a -runs 100
+//	geosim -experiment fig9a -runs 10 -format csv
+//	geosim -experiment fig12a
+//	geosim -experiment all -runs 5
+//
+// With -runs 100 and the full 200 s duration a figure takes a while; use
+// lower run counts for exploration. Results print to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/vanetsec/georoute"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list available experiments and exit")
+		expID  = flag.String("experiment", "", "experiment ID to run (see -list), or 'all'")
+		runs   = flag.Int("runs", 10, "simulation runs per arm")
+		format = flag.String("format", "table", "output format: table or csv")
+		seeds  = flag.Int("showcase-seeds", 5, "seeds for showcase experiments (fig12a/fig12b)")
+	)
+	flag.Parse()
+
+	if *list {
+		printList()
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "geosim: pass -experiment <id> or -list")
+		os.Exit(2)
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = georoute.FigureIDs()
+		ids = append(ids, "fig12a", "fig12b", "fig13", "tableI", "tableII")
+	}
+	for _, id := range ids {
+		if err := runExperiment(id, *runs, *format, *seeds); err != nil {
+			fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func printList() {
+	fmt.Println("Available experiments:")
+	fmt.Println("  tableI      IDM parameters (configuration)")
+	fmt.Println("  tableII     DSRC/C-V2X communication ranges (configuration)")
+	figs := georoute.Figures()
+	for _, id := range georoute.FigureIDs() {
+		fmt.Printf("  %-11s %s\n", id, figs[id].Title)
+	}
+	fmt.Println("  fig12a      Hazard + GF notification: vehicles on road over time")
+	fmt.Println("  fig12b      Hazard + CBF notification: vehicles on road over time")
+	fmt.Println("  fig13       Blind-curve collision: speed profiles")
+	fmt.Println("  all         everything above")
+}
+
+func runExperiment(id string, runs int, format string, showcaseSeeds int) error {
+	switch id {
+	case "tableI":
+		printTableI()
+		return nil
+	case "tableII":
+		printTableII()
+		return nil
+	case "fig12a":
+		return runHazard(georoute.CaseGF, showcaseSeeds)
+	case "fig12b":
+		return runHazard(georoute.CaseCBF, showcaseSeeds)
+	case "fig13":
+		return runCurve()
+	}
+	fig, ok := georoute.Figures()[id]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (try -list)", id)
+	}
+	fmt.Printf("== %s: %s (%d runs/arm) ==\n", fig.ID, fig.Title, runs)
+	start := time.Now()
+	res := fig.Run(runs)
+	fmt.Printf("-- completed in %v --\n", time.Since(start).Round(time.Second))
+
+	fmt.Println("\nPer-bin reception rates:")
+	if format == "csv" {
+		fmt.Print(georoute.RenderCSV(res.BinWidth, res.Rates))
+	} else {
+		fmt.Print(georoute.RenderTable(res.BinWidth, res.Rates))
+	}
+
+	fmt.Println("\nOverall reception per arm:")
+	arms := make([]string, 0, len(res.Overall))
+	for l := range res.Overall {
+		arms = append(arms, l)
+	}
+	sort.Strings(arms)
+	for _, l := range arms {
+		fmt.Printf("  %-16s %6.1f%%\n", l, 100*res.Overall[l])
+	}
+
+	fmt.Println("\nDrop rates (γ/λ), measured vs paper:")
+	for _, p := range res.Figure.Pairs {
+		paper := "   n/a"
+		if p.PaperDrop >= 0 {
+			paper = fmt.Sprintf("%5.1f%%", 100*p.PaperDrop)
+		}
+		fmt.Printf("  %-16s measured %5.1f%%   paper %s\n", p.Label, 100*res.Drops[p.Label], paper)
+	}
+
+	if strings.HasPrefix(id, "fig8") || strings.HasPrefix(id, "fig10") {
+		fmt.Println("\nAccumulated drop over time:")
+		if format == "csv" {
+			fmt.Print(georoute.RenderCSV(res.BinWidth, res.AccumDrops))
+		} else {
+			fmt.Print(georoute.RenderTable(res.BinWidth, res.AccumDrops))
+		}
+	}
+	fmt.Println()
+	return nil
+}
+
+func printTableI() {
+	fmt.Println("== Table I: Intelligent Driver Model parameters ==")
+	fmt.Println("  Desired velocity          30 m/s")
+	fmt.Println("  Safe time headway         1.5 s")
+	fmt.Println("  Maximum acceleration      1.0 m/s^2")
+	fmt.Println("  Comfortable deceleration  3.0 m/s^2")
+	fmt.Println("  Acceleration exponent     4")
+	fmt.Println("  Minimum distance          2 m")
+	fmt.Println("  (vehicle length           4.5 m)")
+}
+
+func printTableII() {
+	fmt.Println("== Table II: communication ranges (Utah DOT field test) ==")
+	fmt.Printf("  %-14s %9s %9s\n", "Comm. range", "DSRC", "C-V2X")
+	rows := []struct {
+		label string
+		class georoute.RangeClass
+	}{
+		{"LoS (median)", georoute.LoSMedian},
+		{"NLoS (median)", georoute.NLoSMedian},
+		{"NLoS (worst)", georoute.NLoSWorst},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-14s %7.0f m %7.0f m\n", r.label,
+			georoute.Range(georoute.DSRC, r.class), georoute.Range(georoute.CV2X, r.class))
+	}
+}
+
+func runHazard(c georoute.HazardCase, seeds int) error {
+	name := "fig12a (GF case)"
+	if c == georoute.CaseCBF {
+		name = "fig12b (CBF case)"
+	}
+	fmt.Printf("== %s: vehicles on road over time, %d seeds ==\n", name, seeds)
+	type agg struct {
+		counts     []float64
+		gateClosed int
+		gateTimes  []time.Duration
+	}
+	arms := map[string]*agg{"af": {}, "atk": {}}
+	for _, arm := range []string{"af", "atk"} {
+		a := arms[arm]
+		for s := 0; s < seeds; s++ {
+			res := georoute.RunHazard(georoute.HazardConfig{
+				Case:     c,
+				Attacked: arm == "atk",
+				Seed:     uint64(s + 1),
+			})
+			if a.counts == nil {
+				a.counts = make([]float64, len(res.VehicleCount))
+			}
+			for i, v := range res.VehicleCount {
+				if i < len(a.counts) {
+					a.counts[i] += float64(v) / float64(seeds)
+				}
+			}
+			if res.GateClosedAt > 0 {
+				a.gateClosed++
+				a.gateTimes = append(a.gateTimes, res.GateClosedAt)
+			}
+		}
+	}
+	fmt.Printf("%-8s %12s %12s\n", "t(s)", "af", "atk")
+	for i := 0; i < len(arms["af"].counts); i += 10 {
+		fmt.Printf("%-8d %12.1f %12.1f\n", i, arms["af"].counts[i], arms["atk"].counts[i])
+	}
+	for _, arm := range []string{"af", "atk"} {
+		a := arms[arm]
+		mean := time.Duration(0)
+		for _, g := range a.gateTimes {
+			mean += g / time.Duration(len(a.gateTimes))
+		}
+		fmt.Printf("%s: entrance warned in %d/%d runs", arm, a.gateClosed, seeds)
+		if a.gateClosed > 0 {
+			fmt.Printf(" (mean %v)", mean.Round(time.Second))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+func runCurve() error {
+	fmt.Println("== fig13: blind-curve speed profiles ==")
+	af := georoute.RunCurve(georoute.CurveConfig{Seed: 1})
+	atk := georoute.RunCurve(georoute.CurveConfig{Seed: 1, Attacked: true})
+	fmt.Printf("%-8s %10s %10s %10s %10s\n", "t(s)", "V1(af)", "V2(af)", "V1(atk)", "V2(atk)")
+	for i := 0; i < len(af.Times); i += 10 {
+		row := func(xs []float64) float64 {
+			if i < len(xs) {
+				return xs[i]
+			}
+			return 0
+		}
+		fmt.Printf("%-8.1f %10.1f %10.1f %10.1f %10.1f\n",
+			af.Times[i], row(af.V1Speed), row(af.V2Speed), row(atk.V1Speed), row(atk.V2Speed))
+	}
+	fmt.Printf("af : warning %v -> V2 warned %v, collision=%v (min gap %.1f m)\n",
+		af.WarningSentAt.Round(time.Millisecond), af.V2WarnedAt.Round(time.Millisecond), af.Collision, af.MinGap)
+	fmt.Printf("atk: warning %v -> V2 warned=%v, collision=%v at %v (min gap %.1f m)\n",
+		atk.WarningSentAt.Round(time.Millisecond), atk.V2WarnedAt > 0, atk.Collision,
+		atk.CollisionAt.Round(time.Millisecond), atk.MinGap)
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,125 @@
+// Command geotrace runs a single seeded simulation and dumps a
+// packet-level trace of every GeoNetworking frame on the air — the tool
+// we use to inspect forwarding paths, attack replays, and losses.
+//
+// Usage:
+//
+//	geotrace -duration 30s -packets 3
+//	geotrace -attack inter-area -range 486 -duration 60s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/vanetsec/georoute"
+	"github.com/vanetsec/georoute/internal/attack"
+	"github.com/vanetsec/georoute/internal/geo"
+	"github.com/vanetsec/georoute/internal/geonet"
+	"github.com/vanetsec/georoute/internal/radio"
+	"github.com/vanetsec/georoute/internal/traffic"
+	"github.com/vanetsec/georoute/internal/vanet"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 30*time.Second, "simulated duration")
+		packets  = flag.Int("packets", 3, "data packets to inject")
+		workload = flag.String("workload", "inter-area", "inter-area (GUC) or intra-area (GBC)")
+		atkMode  = flag.String("attack", "none", "none, inter-area, or intra-area")
+		atkRange = flag.Float64("range", 486, "attack range in meters")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		beacons  = flag.Bool("beacons", false, "include beacons in the trace")
+	)
+	flag.Parse()
+
+	var w *vanet.World
+	tap := &tracer{beacons: *beacons, world: &w}
+	w = vanet.New(vanet.Config{
+		Seed:        *seed,
+		Road:        traffic.RoadConfig{Length: 4000, LanesPerDirection: 2},
+		SpawnGap:    30,
+		Prepopulate: true,
+		OnDeliver: func(addr geonet.Address, p *geonet.Packet) {
+			fmt.Printf("%-12s DELIVER    node %d got %v/%d\n",
+				w.Engine.Now().Round(time.Microsecond), addr, p.SourcePV.Addr, p.SN)
+		},
+	})
+	omni := w.Medium.Attach(999999, 1, func() geo.Point { return geo.Pt(2000, 50) }, tap, true)
+	omni.SetRxRange(1e9)
+	w.AddStatic(vanet.WestDestAddr, geo.Pt(-20, 0), 0)
+	w.AddStatic(vanet.EastDestAddr, geo.Pt(4020, 0), 0)
+
+	switch *atkMode {
+	case "none":
+	case "inter-area", "intra-area":
+		mode := attack.InterArea
+		if *atkMode == "intra-area" {
+			mode = attack.IntraArea
+		}
+		attack.NewAttacker(attack.Config{
+			Engine:   w.Engine,
+			Medium:   w.Medium,
+			Position: geo.Pt(2000, -2.5),
+			Range:    *atkRange,
+			Mode:     mode,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "geotrace: unknown attack mode %q\n", *atkMode)
+		os.Exit(2)
+	}
+
+	// Let beacons settle, then inject packets from mid-road vehicles.
+	w.Engine.ScheduleAt(10*time.Second, "inject", func() {
+		vs := w.Vehicles()
+		for i := 0; i < *packets && i < len(vs); i++ {
+			src := vs[len(vs)/2+i]
+			r := w.RouterOf(src)
+			switch *workload {
+			case "intra-area":
+				area := georoute.NewRect(georoute.Pt(2000, 0), 2000, 30, 90)
+				key := r.SendGeoBroadcast(area, nil)
+				fmt.Printf("%-12s INJECT     GBC %v/%d from x=%.0f\n",
+					w.Engine.Now().Round(time.Microsecond), key.Src, key.SN, src.X())
+			default:
+				key := r.SendGeoUnicast(vanet.EastDestAddr, geo.Pt(4020, 0), nil)
+				fmt.Printf("%-12s INJECT     GUC %v/%d from x=%.0f toward east destination\n",
+					w.Engine.Now().Round(time.Microsecond), key.Src, key.SN, src.X())
+			}
+		}
+	})
+
+	w.Run(*duration)
+	fmt.Printf("\n%d frames traced, medium stats: %+v\n", tap.frames, w.Medium.Stats())
+}
+
+// tracer prints one line per frame on the air.
+type tracer struct {
+	beacons bool
+	frames  int
+	world   **vanet.World
+}
+
+func (t *tracer) Deliver(f radio.Frame)  { t.frame(f) }
+func (t *tracer) Overhear(f radio.Frame) { t.frame(f) }
+
+func (t *tracer) frame(f radio.Frame) {
+	p, err := geonet.Unmarshal(f.Payload)
+	if err != nil {
+		return
+	}
+	if p.Type == geonet.TypeBeacon && !t.beacons {
+		return
+	}
+	t.frames++
+	w := *t.world
+	to := "broadcast"
+	if !f.IsBroadcast() {
+		to = fmt.Sprintf("-> %d", f.To)
+	}
+	fmt.Printf("%-12s %-10s from %d @(%.0f,%.0f) %s rhl=%d key=%v/%d\n",
+		w.Engine.Now().Round(time.Microsecond), p.Type, f.From,
+		f.TxPos.X, f.TxPos.Y, to, p.Basic.RHL, p.SourcePV.Addr, p.SN)
+}

@@ -1,0 +1,39 @@
+// Blind-curve collision (paper Fig 11b / 13): V1 swerves into the
+// opposite lane around a hill-obscured curve and broadcasts a warning
+// that a roadside unit relays to oncoming V2. The Spot-2 replay attack
+// silences the relay and causes a head-on collision.
+//
+//	go run ./examples/curvecollision
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/vanetsec/georoute"
+)
+
+func main() {
+	af := georoute.RunCurve(georoute.CurveConfig{Seed: 1})
+	atk := georoute.RunCurve(georoute.CurveConfig{Seed: 1, Attacked: true})
+
+	fmt.Println("speed profiles (m/s):")
+	fmt.Printf("%6s %9s %9s %9s %9s\n", "t(s)", "V1 af", "V2 af", "V1 atk", "V2 atk")
+	for i := 0; i < len(af.Times) && i < len(atk.Times); i += 15 {
+		fmt.Printf("%6.1f %9.1f %9.1f %9.1f %9.1f\n",
+			af.Times[i], af.V1Speed[i], af.V2Speed[i], atk.V1Speed[i], atk.V2Speed[i])
+	}
+
+	fmt.Printf("\nattack-free: warning sent %v, relayed to V2 %v after\n",
+		af.WarningSentAt.Round(time.Millisecond),
+		(af.V2WarnedAt - af.WarningSentAt).Round(time.Millisecond))
+	fmt.Printf("             closest approach %.1f m — no collision\n", af.MinGap)
+
+	fmt.Printf("\nattacked:    RSU relay suppressed by the Spot-2 replay (V2 warned: %v)\n",
+		atk.V2WarnedAt > 0)
+	if atk.Collision {
+		fmt.Printf("             COLLISION at %v\n", atk.CollisionAt.Round(time.Millisecond))
+	} else {
+		fmt.Printf("             closest approach %.1f m\n", atk.MinGap)
+	}
+}

@@ -1,0 +1,247 @@
+// Package georoute is a pure-Go reproduction of "Breaking Geographic
+// Routing Among Connected Vehicles" (Liu, Shekhar, Peng — DSN 2023).
+//
+// It contains a complete simulated vehicular networking stack — a
+// deterministic discrete-event engine, a unit-disk radio medium with the
+// paper's DSRC/C-V2X field-test ranges, an IDM traffic substrate, a
+// simulated ITS PKI, and an ETSI EN 302 636-4-1 GeoNetworking router with
+// Greedy Forwarding and Contention-Based Forwarding — plus the paper's two
+// outsider attacks (inter-area interception, intra-area blockage), its two
+// standard-compatible mitigations (GF plausibility check, CBF RHL-drop
+// check), and an experiment harness that regenerates every table and
+// figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	s := georoute.DefaultScenario()
+//	s.AttackMode = georoute.AttackInterArea
+//	s.AttackRange = georoute.Range(georoute.DSRC, georoute.NLoSWorst)
+//	ab := georoute.RunAB(s, 10)
+//	fmt.Printf("interception rate γ = %.1f%%\n", 100*ab.DropRate())
+//
+// Higher-level entry points:
+//
+//   - Figures returns the registry of runnable paper figures
+//     (fig7a…fig14b); each Figure.Run produces per-bin reception series,
+//     measured γ/λ per arm pair, and the paper-reported values to compare
+//     against.
+//   - RunHazard and RunCurve reproduce the traffic-efficiency and
+//     road-safety showcases (Figs 12 and 13).
+//   - BuildWorld exposes the underlying simulation world for custom
+//     scenarios (see the examples directory).
+package georoute
+
+import (
+	"time"
+
+	"github.com/vanetsec/georoute/internal/attack"
+	"github.com/vanetsec/georoute/internal/experiment"
+	"github.com/vanetsec/georoute/internal/geo"
+	"github.com/vanetsec/georoute/internal/geonet"
+	"github.com/vanetsec/georoute/internal/metrics"
+	"github.com/vanetsec/georoute/internal/mitigation"
+	"github.com/vanetsec/georoute/internal/radio"
+	"github.com/vanetsec/georoute/internal/showcase"
+	"github.com/vanetsec/georoute/internal/traffic"
+	"github.com/vanetsec/georoute/internal/vanet"
+)
+
+// Geometry -----------------------------------------------------------------
+
+// Point is a position on the local plane, in meters.
+type Point = geo.Point
+
+// Area is a GeoNetworking destination area (circle, rectangle or ellipse).
+type Area = geo.Area
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geo.Pt(x, y) }
+
+// NewCircle constructs a circular destination area.
+func NewCircle(c Point, r float64) Area { return geo.NewCircle(c, r) }
+
+// NewRect constructs a rectangular destination area with half side
+// lengths a (along the azimuth) and b.
+func NewRect(c Point, a, b, azimuthDeg float64) Area { return geo.NewRect(c, a, b, azimuthDeg) }
+
+// Radio --------------------------------------------------------------------
+
+// Technology identifies the access-layer technology (DSRC or CV2X).
+type Technology = radio.Technology
+
+// RangeClass selects a Table II percentile of the communication range.
+type RangeClass = radio.RangeClass
+
+// Access technologies and range classes (paper Table II).
+const (
+	DSRC = radio.DSRC
+	CV2X = radio.CV2X
+
+	LoSMedian  = radio.LoSMedian
+	NLoSMedian = radio.NLoSMedian
+	NLoSWorst  = radio.NLoSWorst
+)
+
+// Range returns the Table II communication range in meters.
+func Range(t Technology, c RangeClass) float64 { return radio.Range(t, c) }
+
+// Protocol -----------------------------------------------------------------
+
+// Address is a GeoNetworking address.
+type Address = geonet.Address
+
+// Packet is a decoded GeoNetworking PDU.
+type Packet = geonet.Packet
+
+// Router is a node's GeoNetworking engine (beaconing, GF, CBF).
+type Router = geonet.Router
+
+// PacketKey identifies a packet end-to-end.
+type PacketKey = geonet.Key
+
+// Attacks ------------------------------------------------------------------
+
+// AttackType selects one of the paper's attacks.
+type AttackType = attack.Type
+
+// Attack modes.
+const (
+	AttackNone             = attack.None
+	AttackInterArea        = attack.InterArea
+	AttackIntraArea        = attack.IntraArea
+	AttackIntraAreaVariant = attack.IntraAreaVariant
+)
+
+// Attacker is the roadside capture-and-replay adversary.
+type Attacker = attack.Attacker
+
+// AttackerConfig parameterizes NewAttacker.
+type AttackerConfig = attack.Config
+
+// NewAttacker deploys an attacker on a world's medium.
+func NewAttacker(cfg AttackerConfig) *Attacker { return attack.NewAttacker(cfg) }
+
+// Mitigations ----------------------------------------------------------------
+
+// Plausibility is the paper's GF mitigation (§V-A): reject next-hop
+// candidates whose advertised position is implausibly far.
+type Plausibility = mitigation.Plausibility
+
+// RHLDropCheck is the paper's CBF mitigation (§V-B): a duplicate only
+// cancels contention when its RHL drop is plausible.
+type RHLDropCheck = mitigation.RHLDropCheck
+
+// DefaultRHLMaxDrop is the paper's RHL-drop threshold of 3.
+const DefaultRHLMaxDrop = mitigation.DefaultRHLMaxDrop
+
+// World --------------------------------------------------------------------
+
+// World is an assembled simulation: engine, radio, PKI, traffic, routers.
+type World = vanet.World
+
+// WorldConfig parameterizes BuildWorld.
+type WorldConfig = vanet.Config
+
+// RoadConfig describes road geometry.
+type RoadConfig = traffic.RoadConfig
+
+// Vehicle is a simulated car.
+type Vehicle = traffic.Vehicle
+
+// BuildWorld assembles a simulation world.
+func BuildWorld(cfg WorldConfig) *World { return vanet.New(cfg) }
+
+// AddrOf maps a vehicle to its GeoNetworking address.
+func AddrOf(v *Vehicle) Address { return vanet.AddrOf(v) }
+
+// Well-known static addresses used by the experiments.
+const (
+	WestDestAddr = vanet.WestDestAddr
+	EastDestAddr = vanet.EastDestAddr
+)
+
+// Experiments ----------------------------------------------------------------
+
+// Scenario is a fully parameterized experiment arm.
+type Scenario = experiment.Scenario
+
+// Workload selects the traffic pattern (InterArea GUC or IntraArea GBC).
+type Workload = experiment.Workload
+
+// Workloads.
+const (
+	InterArea = experiment.InterArea
+	IntraArea = experiment.IntraArea
+)
+
+// DefaultScenario returns the paper's default simulation settings (§IV-A).
+func DefaultScenario() Scenario { return experiment.Default() }
+
+// RunOnce executes a single seeded run of a scenario arm.
+func RunOnce(s Scenario, seed uint64) experiment.RunResult { return experiment.RunOnce(s, seed) }
+
+// RunArm executes several seeded runs of one arm and merges the series.
+func RunArm(s Scenario, runs int) experiment.RunResult { return experiment.RunArm(s, runs) }
+
+// RunAB executes the attack-free and attacked arms of a scenario.
+func RunAB(s Scenario, runs int) metrics.ABResult { return experiment.RunAB(s, runs) }
+
+// Figure is a runnable reproduction of one of the paper's plots.
+type Figure = experiment.Figure
+
+// FigureResult carries a figure's measured series and drop rates.
+type FigureResult = experiment.FigureResult
+
+// Figures returns the registry of reproducible experiments keyed by ID
+// (fig7a…fig14b, fig9-range-sweep, ...).
+func Figures() map[string]Figure { return experiment.Figures() }
+
+// FigureIDs returns the registry keys in sorted order.
+func FigureIDs() []string { return experiment.FigureIDs() }
+
+// Metrics --------------------------------------------------------------------
+
+// ABResult pairs attack-free and attacked measurement series.
+type ABResult = metrics.ABResult
+
+// BinSeries accumulates per-time-bin reception rates.
+type BinSeries = metrics.BinSeries
+
+// RenderTable renders labeled per-bin series as an aligned text table.
+func RenderTable(width time.Duration, series map[string][]float64) string {
+	return metrics.Table(width, series)
+}
+
+// RenderCSV renders labeled per-bin series as CSV.
+func RenderCSV(width time.Duration, series map[string][]float64) string {
+	return metrics.CSV(width, series)
+}
+
+// Showcases ------------------------------------------------------------------
+
+// HazardCase selects a Figure 12 case (CaseGF or CaseCBF).
+type HazardCase = showcase.HazardCase
+
+// Figure 12 cases.
+const (
+	CaseGF  = showcase.CaseGF
+	CaseCBF = showcase.CaseCBF
+)
+
+// HazardConfig parameterizes RunHazard.
+type HazardConfig = showcase.HazardConfig
+
+// HazardResult is the outcome of a Figure 12 run.
+type HazardResult = showcase.HazardResult
+
+// RunHazard executes a Figure 12 traffic-efficiency scenario.
+func RunHazard(cfg HazardConfig) HazardResult { return showcase.RunHazard(cfg) }
+
+// CurveConfig parameterizes RunCurve.
+type CurveConfig = showcase.CurveConfig
+
+// CurveResult is the outcome of a Figure 13 run.
+type CurveResult = showcase.CurveResult
+
+// RunCurve executes the Figure 13 blind-curve road-safety scenario.
+func RunCurve(cfg CurveConfig) CurveResult { return showcase.RunCurve(cfg) }

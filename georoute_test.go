@@ -1,0 +1,124 @@
+package georoute_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/vanetsec/georoute"
+)
+
+// These tests exercise the public facade end to end at reduced scale. The
+// deeper behavioral coverage lives in the internal packages.
+
+func quick() georoute.Scenario {
+	s := georoute.DefaultScenario()
+	s.Duration = 30 * time.Second
+	s.Drain = 10 * time.Second
+	return s
+}
+
+func TestPublicDefaultsMatchPaper(t *testing.T) {
+	s := georoute.DefaultScenario()
+	if s.RoadLength != 4000 || s.Spacing != 30 || s.LanesPerDirection != 2 {
+		t.Fatalf("road defaults off: %+v", s)
+	}
+	if s.LocTTTL != 20*time.Second || s.Duration != 200*time.Second {
+		t.Fatalf("protocol defaults off: %+v", s)
+	}
+	if s.VehicleRange() != 486 {
+		t.Fatalf("default V2V range = %v, want DSRC NLoS median 486", s.VehicleRange())
+	}
+	if georoute.Range(georoute.CV2X, georoute.LoSMedian) != 1703 {
+		t.Fatal("Table II mismatch through the facade")
+	}
+}
+
+func TestPublicInterceptionEndToEnd(t *testing.T) {
+	s := quick()
+	s.AttackMode = georoute.AttackInterArea
+	s.AttackRange = georoute.Range(georoute.DSRC, georoute.LoSMedian)
+	ab := georoute.RunAB(s, 1)
+	if g := ab.DropRate(); g < 0.8 {
+		t.Fatalf("mL interception through facade = %.2f, want near-total", g)
+	}
+}
+
+func TestPublicMitigationEndToEnd(t *testing.T) {
+	s := quick()
+	s.AttackMode = georoute.AttackInterArea
+	s.AttackRange = georoute.Range(georoute.DSRC, georoute.NLoSMedian)
+	attacked := georoute.RunArm(s, 1)
+	s.PlausibilityThreshold = georoute.Range(georoute.DSRC, georoute.NLoSMedian)
+	defended := georoute.RunArm(s, 1)
+	if defended.Series.Overall() <= attacked.Series.Overall() {
+		t.Fatalf("plausibility check restored nothing: %.2f vs %.2f",
+			defended.Series.Overall(), attacked.Series.Overall())
+	}
+}
+
+func TestPublicFigureRegistry(t *testing.T) {
+	ids := georoute.FigureIDs()
+	if len(ids) < 15 {
+		t.Fatalf("only %d figures registered", len(ids))
+	}
+	figs := georoute.Figures()
+	for _, id := range ids {
+		if figs[id].Title == "" {
+			t.Errorf("figure %s has no title", id)
+		}
+	}
+}
+
+func TestPublicRenderers(t *testing.T) {
+	out := georoute.RenderTable(5*time.Second, map[string][]float64{"af": {1, 0.5}})
+	if !strings.Contains(out, "af") {
+		t.Fatalf("table output: %q", out)
+	}
+	csv := georoute.RenderCSV(5*time.Second, map[string][]float64{"af": {1}})
+	if !strings.HasPrefix(csv, "t_seconds,af") {
+		t.Fatalf("csv output: %q", csv)
+	}
+}
+
+func TestPublicShowcases(t *testing.T) {
+	res := georoute.RunCurve(georoute.CurveConfig{Seed: 1, Attacked: true})
+	if !res.Collision {
+		t.Fatal("curve showcase through facade lost its collision")
+	}
+	hz := georoute.RunHazard(georoute.HazardConfig{
+		Case: georoute.CaseCBF, Seed: 2, Duration: 60 * time.Second,
+	})
+	if hz.GateClosedAt == 0 {
+		t.Fatal("hazard showcase: entrance never warned attack-free")
+	}
+}
+
+func TestPublicWorldBuilder(t *testing.T) {
+	// Build a custom world through the facade: a 1 km road, one static
+	// destination, one message.
+	delivered := false
+	var w *georoute.World
+	w = georoute.BuildWorld(georoute.WorldConfig{
+		Seed:        5,
+		Road:        georoute.RoadConfig{Length: 1000, LanesPerDirection: 1},
+		SpawnGap:    50,
+		Prepopulate: true,
+		OnDeliver: func(addr georoute.Address, p *georoute.Packet) {
+			if addr == georoute.EastDestAddr {
+				delivered = true
+			}
+		},
+	})
+	w.AddStatic(georoute.EastDestAddr, georoute.Pt(1020, 0), 0)
+	w.Run(8 * time.Second)
+	vs := w.Vehicles()
+	if len(vs) == 0 {
+		t.Fatal("no vehicles")
+	}
+	w.RouterOf(vs[len(vs)/2]).SendGeoUnicast(georoute.EastDestAddr, georoute.Pt(1020, 0), []byte("hi"))
+	w.Run(20 * time.Second)
+	if !delivered {
+		t.Fatal("custom-world GUC not delivered")
+	}
+}

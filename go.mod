@@ -1,0 +1,3 @@
+module github.com/vanetsec/georoute
+
+go 1.22

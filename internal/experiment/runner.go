@@ -1,0 +1,243 @@
+package experiment
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/attack"
+	"github.com/vanetsec/georoute/internal/geo"
+	"github.com/vanetsec/georoute/internal/geonet"
+	"github.com/vanetsec/georoute/internal/metrics"
+	"github.com/vanetsec/georoute/internal/mitigation"
+	"github.com/vanetsec/georoute/internal/traffic"
+	"github.com/vanetsec/georoute/internal/vanet"
+)
+
+// tracked is the bookkeeping for one generated packet.
+type tracked struct {
+	sentAt time.Duration
+	// InterArea: the destination address that must receive the packet.
+	dest geonet.Address
+	// IntraArea: the on-road population at send time and who of it
+	// received the packet.
+	targets  map[geonet.Address]bool
+	received map[geonet.Address]bool
+}
+
+// RunResult carries the measured series of a single arm plus run-level
+// diagnostics.
+type RunResult struct {
+	Series *metrics.BinSeries
+	// PacketsSent counts generated packets across all merged runs.
+	PacketsSent int
+	// AttackerStats aggregates the attacker counters (zero for af arms).
+	AttackerStats attack.Stats
+}
+
+// RunOnce executes a single seeded run of the scenario arm and returns
+// its bin series.
+func RunOnce(s Scenario, seed uint64) RunResult {
+	reg := make(map[geonet.Key]*tracked)
+
+	var cfgFilter geonet.ForwardFilter
+	if s.PlausibilityThreshold > 0 {
+		cfgFilter = mitigation.Plausibility{Threshold: s.PlausibilityThreshold}
+	}
+	var cfgRule geonet.DuplicateRule
+	if s.RHLMaxDrop > 0 {
+		cfgRule = mitigation.RHLDropCheck{MaxDrop: s.RHLMaxDrop}
+	}
+
+	w := vanet.New(vanet.Config{
+		Seed:             seed,
+		Tech:             s.Tech,
+		RangeClass:       s.VehicleRangeClass,
+		Road:             traffic.RoadConfig{Length: s.RoadLength, LanesPerDirection: s.LanesPerDirection, TwoWay: s.TwoWay},
+		SpawnGap:         s.Spacing,
+		Prepopulate:      s.Prepopulate,
+		LocTTTL:          s.LocTTTL,
+		NeighborLifetime: s.NeighborLifetime,
+		MaxHopLimit:      s.MaxHopLimit,
+		EdgeFactor:       s.RadioEdgeFactor,
+		ForwardFilter:    cfgFilter,
+		DuplicateRule:    cfgRule,
+		OnDeliver: func(addr geonet.Address, p *geonet.Packet) {
+			t, ok := reg[p.Key()]
+			if !ok {
+				return
+			}
+			switch s.Workload {
+			case InterArea:
+				if addr == t.dest {
+					t.received[addr] = true
+				}
+			case IntraArea:
+				if t.targets[addr] {
+					t.received[addr] = true
+				}
+			}
+		},
+	})
+
+	if s.Workload == InterArea {
+		w.AddStatic(vanet.WestDestAddr, geo.Pt(-20, 0), 0)
+		w.AddStatic(vanet.EastDestAddr, geo.Pt(s.RoadLength+20, 0), 0)
+	}
+
+	var atk *attack.Attacker
+	if s.AttackMode != attack.None {
+		ax, ay := s.AttackerPosition()
+		atk = attack.NewAttacker(attack.Config{
+			Engine:          w.Engine,
+			Medium:          w.Medium,
+			Position:        geo.Pt(ax, ay),
+			Range:           s.AttackRange,
+			ProcessingDelay: s.AttackerDelay,
+			Mode:            s.AttackMode,
+		})
+	}
+
+	// The workload generator has its own RNG stream so the packet
+	// population is identical across A/B arms.
+	wrand := rand.New(rand.NewPCG(seed^0x9e3779b97f4a7c15, seed+0x632be59bd9b4e019))
+	area := geo.NewRect(geo.Pt(s.RoadLength/2, 0), s.RoadLength/2, 30, 90)
+
+	generate := func() {
+		switch s.Workload {
+		case InterArea:
+			type pair struct {
+				v   *traffic.Vehicle
+				dst geonet.Address
+			}
+			var pairs []pair
+			for _, v := range w.Vehicles() {
+				x := v.X()
+				if s.VulnerableEast(x) {
+					pairs = append(pairs, pair{v, vanet.EastDestAddr})
+				}
+				if s.VulnerableWest(x) {
+					pairs = append(pairs, pair{v, vanet.WestDestAddr})
+				}
+			}
+			if len(pairs) == 0 {
+				return
+			}
+			p := pairs[wrand.IntN(len(pairs))]
+			r := w.RouterOf(p.v)
+			if r == nil {
+				return
+			}
+			destPos := geo.Pt(-20, 0)
+			if p.dst == vanet.EastDestAddr {
+				destPos = geo.Pt(s.RoadLength+20, 0)
+			}
+			key := r.SendGeoUnicast(p.dst, destPos, nil)
+			reg[key] = &tracked{
+				sentAt:   w.Engine.Now(),
+				dest:     p.dst,
+				received: make(map[geonet.Address]bool),
+			}
+		case IntraArea:
+			vs := w.Vehicles()
+			if len(vs) == 0 {
+				return
+			}
+			src := vs[wrand.IntN(len(vs))]
+			r := w.RouterOf(src)
+			if r == nil {
+				return
+			}
+			targets := make(map[geonet.Address]bool, len(vs))
+			for _, v := range vs {
+				if v.ID == src.ID {
+					continue
+				}
+				targets[vanet.AddrOf(v)] = true
+			}
+			key := r.SendGeoBroadcast(area, nil)
+			reg[key] = &tracked{
+				sentAt:   w.Engine.Now(),
+				targets:  targets,
+				received: make(map[geonet.Address]bool),
+			}
+		}
+	}
+
+	// Generate from t=1s through the end of the window, then drain.
+	for t := s.PacketInterval; t <= s.Duration; t += s.PacketInterval {
+		w.Engine.ScheduleAt(t, "experiment.generate", generate)
+	}
+	w.Run(s.Duration + s.Drain)
+
+	series := metrics.NewBinSeries(s.Duration, s.BinWidth)
+	for _, t := range reg {
+		switch s.Workload {
+		case InterArea:
+			v := 0.0
+			if t.received[t.dest] {
+				v = 1
+			}
+			series.Add(t.sentAt, v)
+		case IntraArea:
+			if len(t.targets) == 0 {
+				continue
+			}
+			series.Add(t.sentAt, float64(len(t.received))/float64(len(t.targets)))
+		}
+	}
+	res := RunResult{Series: series, PacketsSent: len(reg)}
+	if atk != nil {
+		res.AttackerStats = atk.Stats()
+	}
+	return res
+}
+
+// RunArm executes `runs` seeded repetitions of one arm in parallel and
+// merges their series. Results are deterministic for a given (scenario,
+// runs) pair regardless of scheduling.
+func RunArm(s Scenario, runs int) RunResult {
+	if runs <= 0 {
+		runs = 1
+	}
+	out := make([]RunResult, runs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxParallel())
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = RunOnce(s, s.Seed+uint64(i))
+		}(i)
+	}
+	wg.Wait()
+	merged := out[0]
+	for _, r := range out[1:] {
+		merged.Series.Merge(r.Series)
+		merged.PacketsSent += r.PacketsSent
+		merged.AttackerStats.BeaconsCaptured += r.AttackerStats.BeaconsCaptured
+		merged.AttackerStats.BeaconsReplayed += r.AttackerStats.BeaconsReplayed
+		merged.AttackerStats.PacketsCaptured += r.AttackerStats.PacketsCaptured
+		merged.AttackerStats.PacketsReplayed += r.AttackerStats.PacketsReplayed
+	}
+	return merged
+}
+
+// RunAB executes the attack-free and attacked arms of a scenario and
+// returns the paired result.
+func RunAB(s Scenario, runs int) metrics.ABResult {
+	free := RunArm(s.withoutAttack(), runs)
+	attacked := RunArm(s, runs)
+	return metrics.ABResult{Free: free.Series, Attacked: attacked.Series}
+}
+
+func maxParallel() int {
+	n := runtime.NumCPU() - 1
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+// Package experiment reproduces the paper's evaluation (§IV-A and §V):
+// scenario construction, workload generation, A/B (attack-free vs
+// attacked) execution over many seeded runs, and the per-figure
+// definitions that regenerate every plot in Figures 7-10 and 14.
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/attack"
+	"github.com/vanetsec/georoute/internal/radio"
+)
+
+// Workload selects the traffic pattern under test.
+type Workload int
+
+// Workloads.
+const (
+	// InterArea: every second a randomly chosen vehicle sends a GeoUnicast
+	// toward one of the two static destinations 20 m beyond the road ends,
+	// restricted to "vulnerable" (vehicle, direction) pairs per §IV-A.
+	InterArea Workload = iota + 1
+	// IntraArea: every second a randomly chosen vehicle GeoBroadcasts to a
+	// destination area covering the whole road segment.
+	IntraArea
+)
+
+// String implements fmt.Stringer.
+func (w Workload) String() string {
+	switch w {
+	case InterArea:
+		return "inter-area"
+	case IntraArea:
+		return "intra-area"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// Scenario is one fully parameterized experiment arm. The zero value is
+// not usable; start from Default.
+type Scenario struct {
+	// Tech and VehicleRangeClass set the V2V communication range; the
+	// paper uses the NLoS median for vehicles throughout.
+	Tech              radio.Technology
+	VehicleRangeClass radio.RangeClass
+
+	// Road geometry and traffic.
+	RoadLength        float64
+	LanesPerDirection int
+	TwoWay            bool
+	Spacing           float64 // inter-vehicle space (spawn gap), m
+	Prepopulate       bool
+
+	// Protocol parameters.
+	LocTTTL     time.Duration
+	MaxHopLimit uint8
+	// NeighborLifetime overrides how long IS_NEIGHBOUR status lives after
+	// the last direct beacon (0 = one beacon round; >= LocTTTL = the
+	// literal standard where it lives as long as the entry).
+	NeighborLifetime time.Duration
+	// RadioEdgeFactor selects the reception model (0 = hard unit disk;
+	// >1 enables the probabilistic soft edge ablation).
+	RadioEdgeFactor float64
+
+	// Workload.
+	Workload       Workload
+	PacketInterval time.Duration
+	Duration       time.Duration // generation window
+	Drain          time.Duration // extra settling time after generation
+	BinWidth       time.Duration
+
+	// Attack. AttackRange and AttackerX stay meaningful even when Mode is
+	// None: the vulnerable-packet predicate uses them so both A/B arms
+	// sample the same packet population.
+	AttackMode    attack.Type
+	AttackRange   float64
+	AttackerX     float64       // 0 = road midpoint
+	AttackerDelay time.Duration // capture-to-replay latency
+
+	// Mitigations (§V). Zero values disable them.
+	PlausibilityThreshold float64
+	RHLMaxDrop            int
+
+	Seed uint64
+}
+
+// Default returns the paper's default simulation settings (§IV-A):
+// single-direction two-lane 4,000 m road, 30 m spacing, DSRC NLoS-median
+// ranges, 20 s LocT TTL, one packet per second, 200 s runs, 5 s bins.
+func Default() Scenario {
+	return Scenario{
+		Tech:              radio.DSRC,
+		VehicleRangeClass: radio.NLoSMedian,
+		RoadLength:        4000,
+		LanesPerDirection: 2,
+		TwoWay:            false,
+		Spacing:           30,
+		Prepopulate:       true,
+		LocTTTL:           20 * time.Second,
+		Workload:          InterArea,
+		PacketInterval:    time.Second,
+		Duration:          200 * time.Second,
+		Drain:             30 * time.Second,
+		BinWidth:          5 * time.Second,
+		AttackMode:        attack.None,
+		AttackRange:       radio.Range(radio.DSRC, radio.NLoSWorst),
+		AttackerDelay:     attack.DefaultProcessingDelay,
+		Seed:              1,
+	}
+}
+
+// VehicleRange reports the V2V communication range of the scenario.
+func (s Scenario) VehicleRange() float64 {
+	return radio.Range(s.Tech, s.VehicleRangeClass)
+}
+
+// AttackerPosition reports the sniffer location: road midpoint unless
+// AttackerX overrides it, on the shoulder.
+func (s Scenario) AttackerPosition() (x, y float64) {
+	x = s.AttackerX
+	if x == 0 {
+		x = s.RoadLength / 2
+	}
+	return x, -2.5
+}
+
+// VulnerableEast reports whether a packet originating at srcX heading to
+// the eastern destination is vulnerable to the inter-area attack (§IV-A):
+// some forwarder position on its path can be fed a beacon from a vehicle
+// beyond its real coverage but inside the attacker's.
+func (s Scenario) VulnerableEast(srcX float64) bool {
+	ax, _ := s.AttackerPosition()
+	return srcX <= ax+(s.AttackRange-s.VehicleRange())
+}
+
+// VulnerableWest is the westbound counterpart of VulnerableEast.
+func (s Scenario) VulnerableWest(srcX float64) bool {
+	ax, _ := s.AttackerPosition()
+	return srcX >= ax-(s.AttackRange-s.VehicleRange())
+}
+
+// withAttack returns a copy with the attack enabled (mode m), and
+// withoutAttack a copy with it disabled; both keep the same geometry so
+// the vulnerable-packet populations match.
+func (s Scenario) withAttack(m attack.Type) Scenario {
+	s.AttackMode = m
+	return s
+}
+
+func (s Scenario) withoutAttack() Scenario {
+	s.AttackMode = attack.None
+	return s
+}

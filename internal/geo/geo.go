@@ -1,0 +1,273 @@
+// Package geo provides planar geometric primitives used throughout the
+// simulator: points, velocity vectors, and the GeoNetworking destination
+// areas (circle, rectangle, ellipse) defined by ETSI EN 302 931.
+//
+// All coordinates are in meters on a local Cartesian plane. The paper's
+// scenarios are road segments a few kilometers long, so a planar
+// approximation of the WGS-84 coordinates carried by the wire format is
+// exact for every experiment.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a position on the local plane, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// DistanceTo reports the Euclidean distance between p and q in meters.
+func (p Point) DistanceTo(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Add returns p displaced by v.
+func (p Point) Add(v Vector) Point { return Point{X: p.X + v.DX, Y: p.Y + v.DY} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Vector { return Vector{DX: p.X - q.X, DY: p.Y - q.Y} }
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Vector is a displacement or velocity on the local plane.
+type Vector struct {
+	DX, DY float64
+}
+
+// Vec is shorthand for Vector{dx, dy}.
+func Vec(dx, dy float64) Vector { return Vector{DX: dx, DY: dy} }
+
+// Length reports the vector magnitude.
+func (v Vector) Length() float64 { return math.Hypot(v.DX, v.DY) }
+
+// Scale returns v scaled by k.
+func (v Vector) Scale(k float64) Vector { return Vector{DX: v.DX * k, DY: v.DY * k} }
+
+// Heading reports the compass-style heading of v in degrees in [0, 360):
+// 0 is +Y (north), 90 is +X (east). A zero vector has heading 0.
+func (v Vector) Heading() float64 {
+	if v.DX == 0 && v.DY == 0 {
+		return 0
+	}
+	deg := math.Atan2(v.DX, v.DY) * 180 / math.Pi
+	if deg < 0 {
+		deg += 360
+	}
+	return deg
+}
+
+// HeadingVector returns a unit vector pointing at the given compass
+// heading in degrees (inverse of Vector.Heading).
+func HeadingVector(deg float64) Vector {
+	rad := deg * math.Pi / 180
+	return Vector{DX: math.Sin(rad), DY: math.Cos(rad)}
+}
+
+// Area is a GeoNetworking destination area. The Inside test follows the
+// ETSI EN 302 931 geometric function f(x, y): f > 0 strictly inside,
+// f = 0 on the border, f < 0 outside; Contains treats the border as inside
+// (within a small tolerance that absorbs rotation round-off).
+type Area interface {
+	// Contains reports whether p lies inside the area (border inclusive).
+	Contains(p Point) bool
+	// Center returns the area's center point.
+	Center() Point
+	// DistanceTo reports the distance from p to the area: zero when p is
+	// inside, otherwise the distance to the nearest border point
+	// (approximated as distance-to-center minus the center-to-border
+	// distance along that direction).
+	DistanceTo(p Point) float64
+	// F evaluates the ETSI geometric function at p.
+	F(p Point) float64
+}
+
+// containsTol absorbs floating-point round-off from the rotated-frame
+// transform so that exact border points count as inside.
+const containsTol = 1e-9
+
+// local transforms p into the area's local frame: origin at center,
+// rotated so that the area's "long axis" at azimuth (compass degrees)
+// becomes the local X axis.
+func local(p, center Point, azimuthDeg float64) (x, y float64) {
+	// Azimuth is measured like a heading: 0 => +Y, 90 => +X. Rotating the
+	// world by -azimuth maps the axis direction onto local +X.
+	rad := azimuthDeg * math.Pi / 180
+	dx := p.X - center.X
+	dy := p.Y - center.Y
+	// Unit vector of the long axis in world coordinates.
+	ax := math.Sin(rad)
+	ay := math.Cos(rad)
+	// Local x is the projection on the axis, local y on its normal.
+	x = dx*ax + dy*ay
+	y = -dx*ay + dy*ax
+	return x, y
+}
+
+// Circle is a circular destination area.
+type Circle struct {
+	C Point
+	R float64 // radius in meters, must be > 0
+}
+
+var _ Area = Circle{}
+
+// NewCircle constructs a circular area centered at c with radius r.
+func NewCircle(c Point, r float64) Circle { return Circle{C: c, R: r} }
+
+// F implements Area using f = 1 - (d/r)^2.
+func (a Circle) F(p Point) float64 {
+	d := a.C.DistanceTo(p)
+	return 1 - (d/a.R)*(d/a.R)
+}
+
+// Contains implements Area.
+func (a Circle) Contains(p Point) bool { return a.F(p) >= -containsTol }
+
+// Center implements Area.
+func (a Circle) Center() Point { return a.C }
+
+// DistanceTo implements Area.
+func (a Circle) DistanceTo(p Point) float64 {
+	d := a.C.DistanceTo(p) - a.R
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Rect is a rectangular destination area with half-lengths A (along the
+// azimuth axis) and B (normal to it).
+type Rect struct {
+	C          Point
+	A, B       float64 // half side lengths in meters
+	AzimuthDeg float64 // compass orientation of the A axis
+}
+
+var _ Area = Rect{}
+
+// NewRect constructs a rectangle centered at c. a and b are HALF side
+// lengths along and across the azimuth axis.
+func NewRect(c Point, a, b, azimuthDeg float64) Rect {
+	return Rect{C: c, A: a, B: b, AzimuthDeg: azimuthDeg}
+}
+
+// F implements Area using f = min(1-(x/a)^2, 1-(y/b)^2).
+func (a Rect) F(p Point) float64 {
+	x, y := local(p, a.C, a.AzimuthDeg)
+	fx := 1 - (x/a.A)*(x/a.A)
+	fy := 1 - (y/a.B)*(y/a.B)
+	return math.Min(fx, fy)
+}
+
+// Contains implements Area.
+func (a Rect) Contains(p Point) bool { return a.F(p) >= -containsTol }
+
+// Center implements Area.
+func (a Rect) Center() Point { return a.C }
+
+// DistanceTo implements Area.
+func (a Rect) DistanceTo(p Point) float64 {
+	x, y := local(p, a.C, a.AzimuthDeg)
+	dx := math.Max(math.Abs(x)-a.A, 0)
+	dy := math.Max(math.Abs(y)-a.B, 0)
+	return math.Hypot(dx, dy)
+}
+
+// Ellipse is an elliptical destination area with semi-axes A (along the
+// azimuth axis) and B (normal to it).
+type Ellipse struct {
+	C          Point
+	A, B       float64 // semi-axis lengths in meters
+	AzimuthDeg float64 // compass orientation of the A axis
+}
+
+var _ Area = Ellipse{}
+
+// NewEllipse constructs an ellipse centered at c with semi-axes a, b.
+func NewEllipse(c Point, a, b, azimuthDeg float64) Ellipse {
+	return Ellipse{C: c, A: a, B: b, AzimuthDeg: azimuthDeg}
+}
+
+// F implements Area using f = 1 - (x/a)^2 - (y/b)^2.
+func (a Ellipse) F(p Point) float64 {
+	x, y := local(p, a.C, a.AzimuthDeg)
+	return 1 - (x/a.A)*(x/a.A) - (y/a.B)*(y/a.B)
+}
+
+// Contains implements Area.
+func (a Ellipse) Contains(p Point) bool { return a.F(p) >= -containsTol }
+
+// Center implements Area.
+func (a Ellipse) Center() Point { return a.C }
+
+// DistanceTo implements Area. For points outside, the distance to the
+// border is approximated along the center-to-point ray, which is exact
+// for circles and a tight approximation for the low-eccentricity areas
+// used in the experiments.
+func (a Ellipse) DistanceTo(p Point) float64 {
+	if a.Contains(p) {
+		return 0
+	}
+	x, y := local(p, a.C, a.AzimuthDeg)
+	d := math.Hypot(x, y)
+	if d == 0 {
+		return 0
+	}
+	// Border point along the ray: scale factor s solves (sx/a)^2+(sy/b)^2=1.
+	s := 1 / math.Sqrt((x/a.A)*(x/a.A)+(y/a.B)*(y/a.B))
+	return d * (1 - s)
+}
+
+// Segment is a straight line segment between two points.
+type Segment struct {
+	P1, P2 Point
+}
+
+// Intersects reports whether segment s crosses segment t (including
+// touching at a point).
+func (s Segment) Intersects(t Segment) bool {
+	d1 := cross(t.P1, t.P2, s.P1)
+	d2 := cross(t.P1, t.P2, s.P2)
+	d3 := cross(s.P1, s.P2, t.P1)
+	d4 := cross(s.P1, s.P2, t.P2)
+	if ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+		((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0)) {
+		return true
+	}
+	return d1 == 0 && onSegment(t.P1, t.P2, s.P1) ||
+		d2 == 0 && onSegment(t.P1, t.P2, s.P2) ||
+		d3 == 0 && onSegment(s.P1, s.P2, t.P1) ||
+		d4 == 0 && onSegment(s.P1, s.P2, t.P2)
+}
+
+// DistanceToPoint reports the shortest distance from p to the segment.
+func (s Segment) DistanceToPoint(p Point) float64 {
+	vx, vy := s.P2.X-s.P1.X, s.P2.Y-s.P1.Y
+	wx, wy := p.X-s.P1.X, p.Y-s.P1.Y
+	c1 := vx*wx + vy*wy
+	if c1 <= 0 {
+		return p.DistanceTo(s.P1)
+	}
+	c2 := vx*vx + vy*vy
+	if c2 <= c1 {
+		return p.DistanceTo(s.P2)
+	}
+	t := c1 / c2
+	proj := Point{X: s.P1.X + t*vx, Y: s.P1.Y + t*vy}
+	return p.DistanceTo(proj)
+}
+
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+func onSegment(a, b, p Point) bool {
+	return math.Min(a.X, b.X) <= p.X && p.X <= math.Max(a.X, b.X) &&
+		math.Min(a.Y, b.Y) <= p.Y && p.Y <= math.Max(a.Y, b.Y)
+}

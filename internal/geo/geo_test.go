@@ -1,0 +1,371 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPointDistance(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Pt(1, 2), Pt(1, 2), 0},
+		{"unit x", Pt(0, 0), Pt(1, 0), 1},
+		{"unit y", Pt(0, 0), Pt(0, 1), 1},
+		{"3-4-5", Pt(0, 0), Pt(3, 4), 5},
+		{"negative coords", Pt(-3, -4), Pt(0, 0), 5},
+		{"road scale", Pt(0, 2.5), Pt(4000, 2.5), 4000},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.DistanceTo(tt.q); !almostEqual(got, tt.want, 1e-9) {
+				t.Errorf("DistanceTo() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDistanceSymmetryProperty(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p, q := Pt(ax, ay), Pt(bx, by)
+		return p.DistanceTo(q) == q.DistanceTo(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequalityProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy int16) bool {
+		a := Pt(float64(ax), float64(ay))
+		b := Pt(float64(bx), float64(by))
+		c := Pt(float64(cx), float64(cy))
+		return a.DistanceTo(c) <= a.DistanceTo(b)+b.DistanceTo(c)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVectorAddSub(t *testing.T) {
+	p := Pt(10, 20)
+	v := Vec(3, -4)
+	q := p.Add(v)
+	if q != Pt(13, 16) {
+		t.Fatalf("Add = %v, want (13, 16)", q)
+	}
+	if got := q.Sub(p); got != v {
+		t.Fatalf("Sub = %v, want %v", got, v)
+	}
+}
+
+func TestVectorLengthScale(t *testing.T) {
+	v := Vec(3, 4)
+	if v.Length() != 5 {
+		t.Fatalf("Length = %v, want 5", v.Length())
+	}
+	if got := v.Scale(2).Length(); got != 10 {
+		t.Fatalf("Scale(2).Length = %v, want 10", got)
+	}
+	if got := v.Scale(0); got.Length() != 0 {
+		t.Fatalf("Scale(0) = %v, want zero vector", got)
+	}
+}
+
+func TestHeading(t *testing.T) {
+	tests := []struct {
+		name string
+		v    Vector
+		want float64
+	}{
+		{"north", Vec(0, 1), 0},
+		{"east", Vec(1, 0), 90},
+		{"south", Vec(0, -1), 180},
+		{"west", Vec(-1, 0), 270},
+		{"north-east", Vec(1, 1), 45},
+		{"zero vector", Vec(0, 0), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.v.Heading(); !almostEqual(got, tt.want, 1e-9) {
+				t.Errorf("Heading() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHeadingVectorRoundTrip(t *testing.T) {
+	for deg := 0.0; deg < 360; deg += 15 {
+		v := HeadingVector(deg)
+		if !almostEqual(v.Length(), 1, 1e-9) {
+			t.Fatalf("HeadingVector(%v) not unit: %v", deg, v.Length())
+		}
+		if got := v.Heading(); !almostEqual(got, deg, 1e-9) {
+			t.Errorf("round trip %v -> %v", deg, got)
+		}
+	}
+}
+
+func TestCircleContains(t *testing.T) {
+	c := NewCircle(Pt(100, 0), 50)
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"center", Pt(100, 0), true},
+		{"inside", Pt(120, 10), true},
+		{"border", Pt(150, 0), true},
+		{"just outside", Pt(150.001, 0), false},
+		{"far outside", Pt(0, 0), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := c.Contains(tt.p); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCircleDistanceTo(t *testing.T) {
+	c := NewCircle(Pt(0, 0), 20)
+	if got := c.DistanceTo(Pt(10, 0)); got != 0 {
+		t.Errorf("inside distance = %v, want 0", got)
+	}
+	if got := c.DistanceTo(Pt(50, 0)); !almostEqual(got, 30, 1e-9) {
+		t.Errorf("outside distance = %v, want 30", got)
+	}
+}
+
+func TestCircleFSign(t *testing.T) {
+	c := NewCircle(Pt(0, 0), 10)
+	if f := c.F(Pt(5, 0)); f <= 0 {
+		t.Errorf("F inside = %v, want > 0", f)
+	}
+	if f := c.F(Pt(10, 0)); !almostEqual(f, 0, 1e-9) {
+		t.Errorf("F border = %v, want 0", f)
+	}
+	if f := c.F(Pt(15, 0)); f >= 0 {
+		t.Errorf("F outside = %v, want < 0", f)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	// Road-segment style rectangle: 4000 m long, 20 m wide, axis east.
+	r := NewRect(Pt(2000, 0), 2000, 10, 90)
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"center", Pt(2000, 0), true},
+		{"west end", Pt(0, 0), true},
+		{"east end", Pt(4000, 0), true},
+		{"north edge", Pt(2000, 10), true},
+		{"beyond east", Pt(4001, 0), false},
+		{"beyond north", Pt(2000, 10.5), false},
+		{"corner inside", Pt(3999, 9.9), true},
+		{"corner outside", Pt(4001, 11), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := r.Contains(tt.p); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRectRotated(t *testing.T) {
+	// Square rotated 45 degrees: vertices on the axes at distance a.
+	r := NewRect(Pt(0, 0), 10, 10, 45)
+	if !r.Contains(Pt(0, 0)) {
+		t.Fatal("center must be inside")
+	}
+	// Along the rotated axis (heading 45), the half-length is 10.
+	onAxis := Pt(0, 0).Add(HeadingVector(45).Scale(9.9))
+	if !r.Contains(onAxis) {
+		t.Errorf("point on rotated axis at 9.9 should be inside")
+	}
+	offAxis := Pt(0, 0).Add(HeadingVector(45).Scale(10.1))
+	if r.Contains(offAxis) {
+		t.Errorf("point on rotated axis at 10.1 should be outside")
+	}
+}
+
+func TestRectDistanceTo(t *testing.T) {
+	r := NewRect(Pt(0, 0), 10, 5, 90) // axis east: extends ±10 in X, ±5 in Y
+	tests := []struct {
+		name string
+		p    Point
+		want float64
+	}{
+		{"inside", Pt(3, 2), 0},
+		{"east of rect", Pt(15, 0), 5},
+		{"north of rect", Pt(0, 9), 4},
+		{"diagonal 3-4-5", Pt(13, 9), 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := r.DistanceTo(tt.p); !almostEqual(got, tt.want, 1e-9) {
+				t.Errorf("DistanceTo(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEllipseContains(t *testing.T) {
+	e := NewEllipse(Pt(0, 0), 20, 10, 90) // wide in X
+	tests := []struct {
+		name string
+		p    Point
+		want bool
+	}{
+		{"center", Pt(0, 0), true},
+		{"on major axis inside", Pt(19, 0), true},
+		{"on major axis border", Pt(20, 0), true},
+		{"on minor axis inside", Pt(0, 9), true},
+		{"beyond major", Pt(21, 0), false},
+		{"beyond minor", Pt(0, 11), false},
+		{"rect corner excluded", Pt(18, 8), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := e.Contains(tt.p); got != tt.want {
+				t.Errorf("Contains(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEllipseDistanceCircleEquivalence(t *testing.T) {
+	// An ellipse with equal axes must agree with the circle on distances.
+	e := NewEllipse(Pt(5, 5), 10, 10, 0)
+	c := NewCircle(Pt(5, 5), 10)
+	pts := []Point{Pt(30, 5), Pt(5, -20), Pt(17, 21), Pt(5, 5)}
+	for _, p := range pts {
+		if ge, gc := e.DistanceTo(p), c.DistanceTo(p); !almostEqual(ge, gc, 1e-9) {
+			t.Errorf("DistanceTo(%v): ellipse %v != circle %v", p, ge, gc)
+		}
+	}
+}
+
+func TestAreaFConsistencyProperty(t *testing.T) {
+	// Property: Contains(p) iff F(p) >= 0, for all area kinds.
+	areas := []Area{
+		NewCircle(Pt(0, 0), 100),
+		NewRect(Pt(0, 0), 80, 40, 30),
+		NewEllipse(Pt(0, 0), 80, 40, 120),
+	}
+	f := func(x, y int16) bool {
+		p := Pt(float64(x), float64(y))
+		for _, a := range areas {
+			if a.Contains(p) != (a.F(p) >= -1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAreaDistanceZeroInsideProperty(t *testing.T) {
+	areas := []Area{
+		NewCircle(Pt(0, 0), 100),
+		NewRect(Pt(0, 0), 80, 40, 30),
+		NewEllipse(Pt(0, 0), 80, 40, 120),
+	}
+	f := func(x, y int8) bool {
+		p := Pt(float64(x)/4, float64(y)/4) // confined near center => inside
+		for _, a := range areas {
+			if !a.Contains(p) {
+				continue
+			}
+			if a.DistanceTo(p) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSegmentIntersects(t *testing.T) {
+	tests := []struct {
+		name string
+		s, u Segment
+		want bool
+	}{
+		{
+			"crossing X",
+			Segment{Pt(0, 0), Pt(10, 10)},
+			Segment{Pt(0, 10), Pt(10, 0)},
+			true,
+		},
+		{
+			"parallel",
+			Segment{Pt(0, 0), Pt(10, 0)},
+			Segment{Pt(0, 1), Pt(10, 1)},
+			false,
+		},
+		{
+			"touching endpoint",
+			Segment{Pt(0, 0), Pt(5, 5)},
+			Segment{Pt(5, 5), Pt(10, 0)},
+			true,
+		},
+		{
+			"disjoint",
+			Segment{Pt(0, 0), Pt(1, 1)},
+			Segment{Pt(5, 5), Pt(6, 6)},
+			false,
+		},
+		{
+			"T junction",
+			Segment{Pt(0, 0), Pt(10, 0)},
+			Segment{Pt(5, -5), Pt(5, 0)},
+			true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.s.Intersects(tt.u); got != tt.want {
+				t.Errorf("Intersects = %v, want %v", got, tt.want)
+			}
+			if got := tt.u.Intersects(tt.s); got != tt.want {
+				t.Errorf("Intersects (swapped) = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSegmentDistanceToPoint(t *testing.T) {
+	s := Segment{Pt(0, 0), Pt(10, 0)}
+	tests := []struct {
+		name string
+		p    Point
+		want float64
+	}{
+		{"above middle", Pt(5, 3), 3},
+		{"beyond P2", Pt(13, 4), 5},
+		{"beyond P1", Pt(-3, -4), 5},
+		{"on segment", Pt(7, 0), 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := s.DistanceToPoint(tt.p); !almostEqual(got, tt.want, 1e-9) {
+				t.Errorf("DistanceToPoint(%v) = %v, want %v", tt.p, got, tt.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,176 @@
+package geonet
+
+import (
+	"sort"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/geo"
+)
+
+// LocTEntry is one neighbor record: (addr, PV, TTL) as in the paper's
+// description of the standard's location table.
+type LocTEntry struct {
+	Addr      Address
+	PV        PositionVector
+	UpdatedAt time.Duration // when the entry was last refreshed
+	ExpiresAt time.Duration // UpdatedAt + TTL
+	// IsNeighbor mirrors the standard's IS_NEIGHBOUR flag: set when the PV
+	// came from a single-hop packet (a beacon). GF only considers entries
+	// with this flag. Crucially it is set from the PACKET TYPE, not from
+	// any check that the link-layer sender is the PV owner — which is why
+	// a replayed beacon makes an out-of-range vehicle look like a
+	// neighbor.
+	IsNeighbor bool
+	// NeighborUntil bounds the neighbor status in time: deployed stacks
+	// let IS_NEIGHBOUR lapse after a missed beacon round or two rather
+	// than keeping a silent station eligible as a next hop for the whole
+	// entry TTL. The attack is unaffected — the attacker re-relays every
+	// fresh beacon, so poisoned entries stay "neighbors" continuously.
+	NeighborUntil time.Duration
+}
+
+// NeighborAt reports whether the entry counts as a direct neighbor for
+// forwarding decisions at time now.
+func (e *LocTEntry) NeighborAt(now time.Duration) bool {
+	return e.IsNeighbor && now <= e.NeighborUntil
+}
+
+// LocT is the location table: the per-router view of its neighborhood,
+// populated from received beacons and from the source position vectors of
+// forwarded packets. Entries expire after the configured TTL (default
+// 20 s per the standard).
+type LocT struct {
+	ttl         time.Duration
+	neighborTTL time.Duration
+	entries     map[Address]*LocTEntry
+}
+
+// DefaultLocTTTL is the standard's default lifetime of a location table
+// entry.
+const DefaultLocTTTL = 20 * time.Second
+
+// NewLocT constructs a location table with the given entry TTL and
+// neighbor-status lifetime. A neighborTTL of zero keeps neighbor status
+// for the whole entry TTL (the literal standard behavior).
+func NewLocT(ttl, neighborTTL time.Duration) *LocT {
+	if ttl == 0 {
+		ttl = DefaultLocTTTL
+	}
+	if neighborTTL == 0 || neighborTTL > ttl {
+		neighborTTL = ttl
+	}
+	return &LocT{ttl: ttl, neighborTTL: neighborTTL, entries: make(map[Address]*LocTEntry)}
+}
+
+// TTL reports the configured entry lifetime.
+func (t *LocT) TTL() time.Duration { return t.ttl }
+
+// Update inserts or refreshes the entry for pv.Addr. A PV older than the
+// stored one is ignored (beacon timestamps provide freshness; note that
+// an immediate replay carries the *latest* timestamp and is accepted —
+// the paper's point). isNeighbor marks single-hop receptions; once set it
+// persists for the life of the entry. It reports whether the table
+// changed.
+func (t *LocT) Update(pv PositionVector, now time.Duration, isNeighbor bool) bool {
+	e, ok := t.entries[pv.Addr]
+	if ok && now <= e.ExpiresAt && pv.Timestamp <= e.PV.Timestamp {
+		if pv.Timestamp < e.PV.Timestamp {
+			// A strictly older PV is a stale replay; it neither updates
+			// the position nor proves current radio contact.
+			return false
+		}
+		if isNeighbor {
+			changed := !e.IsNeighbor
+			e.IsNeighbor = true
+			if until := now + t.neighborTTL; until > e.NeighborUntil {
+				e.NeighborUntil = until
+				changed = true
+			}
+			return changed
+		}
+		return false
+	}
+	var neighborUntil time.Duration
+	wasNeighbor := ok && now <= e.ExpiresAt && e.IsNeighbor
+	if wasNeighbor {
+		neighborUntil = e.NeighborUntil
+	}
+	if isNeighbor {
+		neighborUntil = now + t.neighborTTL
+	}
+	t.entries[pv.Addr] = &LocTEntry{
+		Addr:          pv.Addr,
+		PV:            pv,
+		UpdatedAt:     now,
+		ExpiresAt:     now + t.ttl,
+		IsNeighbor:    isNeighbor || wasNeighbor,
+		NeighborUntil: neighborUntil,
+	}
+	return true
+}
+
+// Lookup returns the live entry for addr, or nil.
+func (t *LocT) Lookup(addr Address, now time.Duration) *LocTEntry {
+	e, ok := t.entries[addr]
+	if !ok {
+		return nil
+	}
+	if now > e.ExpiresAt {
+		delete(t.entries, addr)
+		return nil
+	}
+	return e
+}
+
+// Len reports the number of stored entries including not-yet-purged
+// expired ones.
+func (t *LocT) Len() int { return len(t.entries) }
+
+// Purge drops expired entries.
+func (t *LocT) Purge(now time.Duration) {
+	for addr, e := range t.entries {
+		if now > e.ExpiresAt {
+			delete(t.entries, addr)
+		}
+	}
+}
+
+// Neighbors returns the live entries sorted by address (deterministic
+// iteration for reproducible runs). The entries are shared; callers must
+// not mutate them.
+func (t *LocT) Neighbors(now time.Duration) []*LocTEntry {
+	out := make([]*LocTEntry, 0, len(t.entries))
+	for addr, e := range t.entries {
+		if now > e.ExpiresAt {
+			delete(t.entries, addr)
+			continue
+		}
+		_ = addr
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Closest returns the live entry whose ADVERTISED position is nearest to
+// dst, restricted to entries accepted by filter (nil accepts all) — the
+// paper's literal GF: "chooses the neighbor closest to the destination
+// area based on position information advertised in the beacons". The
+// filter receives the advertised position for convenience. It returns nil
+// when the table has no acceptable live entries.
+func (t *LocT) Closest(dst geo.Point, now time.Duration, filter func(e *LocTEntry, pos geo.Point) bool) *LocTEntry {
+	var best *LocTEntry
+	bestDist := 0.0
+	for _, e := range t.Neighbors(now) {
+		pos := e.PV.Pos
+		if filter != nil && !filter(e, pos) {
+			continue
+		}
+		d := pos.DistanceTo(dst)
+		if best == nil || d < bestDist {
+			best = e
+			bestDist = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,35 @@
+package geonet
+
+import "github.com/vanetsec/georoute/internal/geo"
+
+// ForwardFilter decides which location-table entries may be chosen as GF
+// next hops. The default (nil) accepts every entry — the standard's
+// behavior, which the inter-area interception attack exploits. The
+// plausibility-check mitigation plugs in here.
+type ForwardFilter interface {
+	// Accept reports whether the entry may be used as a next hop by a
+	// forwarder currently located at self. pos is the entry's advertised
+	// position (the one GF selects by).
+	Accept(self, pos geo.Point, e *LocTEntry) bool
+}
+
+// DuplicateRule decides whether a second copy of a buffered CBF packet
+// cancels the contention timer. The default (nil) treats every copy as a
+// duplicate — the standard's behavior, which the intra-area blockage
+// attack exploits. The RHL-drop-check mitigation plugs in here.
+type DuplicateRule interface {
+	// CancelsContention reports whether a copy received with dupRHL,
+	// while a copy first received with firstRHL is buffered, should stop
+	// the contention timer and discard the buffered packet.
+	CancelsContention(firstRHL, dupRHL uint8) bool
+}
+
+// acceptAll is the standard-compliant ForwardFilter.
+type acceptAll struct{}
+
+func (acceptAll) Accept(_, _ geo.Point, _ *LocTEntry) bool { return true }
+
+// alwaysDuplicate is the standard-compliant DuplicateRule.
+type alwaysDuplicate struct{}
+
+func (alwaysDuplicate) CancelsContention(uint8, uint8) bool { return true }

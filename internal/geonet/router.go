@@ -1,0 +1,631 @@
+package geonet
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/geo"
+	"github.com/vanetsec/georoute/internal/radio"
+	"github.com/vanetsec/georoute/internal/security"
+	"github.com/vanetsec/georoute/internal/sim"
+)
+
+// Protocol defaults from EN 302 636-4-1 and the paper.
+const (
+	DefaultBeaconInterval = 3 * time.Second
+	DefaultBeaconJitter   = 750 * time.Millisecond
+	DefaultTOMin          = 1 * time.Millisecond
+	DefaultTOMax          = 100 * time.Millisecond
+	DefaultMaxHopLimit    = 32
+	DefaultPacketLifetime = 60 * time.Second
+	DefaultRetryInterval  = 1 * time.Second
+)
+
+// Stats are per-router protocol counters.
+type Stats struct {
+	BeaconsSent     uint64
+	BeaconsReceived uint64
+	Originated      uint64
+	Delivered       uint64
+
+	GFForwarded  uint64 // unicast next-hop transmissions
+	GFBuffered   uint64 // store-carry-forward buffer admissions
+	GFRetries    uint64 // retry attempts from the buffer
+	GFExpired    uint64 // buffered packets dropped at lifetime end
+	GFFiltered   uint64 // candidates rejected by the forward filter
+	GFRecustody  uint64 // re-accepted packets previously forwarded away
+	CBFBuffered  uint64 // contention timers started
+	CBFForwarded uint64 // contention timers that fired and re-broadcast
+	CBFCanceled  uint64 // contentions canceled by duplicates
+	CBFIgnored   uint64 // duplicates that did NOT cancel (mitigation)
+	TSBForwarded uint64 // topological re-broadcasts (TSB and LS requests)
+	LSRequests   uint64 // location-service lookups originated
+	LSReplies    uint64 // location-service answers sent
+	RHLExpired   uint64 // packets not forwarded because the RHL ran out
+	Duplicates   uint64 // repeated receptions of known packets
+	AuthFailures uint64 // signature/certificate rejections
+	DecodeErrors uint64 // malformed frames
+}
+
+// Config parameterizes a Router. Zero values take the defaults above.
+type Config struct {
+	Addr     Address
+	Engine   *sim.Engine
+	Medium   *radio.Medium
+	Signer   security.Signer
+	Verifier security.Verifier
+
+	// Position and Velocity sample the node's kinematic state. Velocity
+	// may be nil for static nodes.
+	Position func() geo.Point
+	Velocity func() geo.Vector
+
+	// Range is the node's communication range in meters; it is also
+	// DIST_MAX in the CBF timeout formula.
+	Range float64
+
+	BeaconInterval time.Duration
+	BeaconJitter   time.Duration
+	LocTTTL        time.Duration
+	// NeighborLifetime bounds how long after the last direct beacon an
+	// entry stays eligible as a GF next hop. Defaults to one beacon round
+	// (interval+jitter): a station that missed its latest beacon window is
+	// no longer assumed reachable. Set >= LocTTTL for the literal standard
+	// behavior where neighbor status lives as long as the entry.
+	NeighborLifetime time.Duration
+	TOMin            time.Duration
+	TOMax            time.Duration
+	MaxHopLimit      uint8
+	PacketLifetime   time.Duration
+	RetryInterval    time.Duration
+
+	// UpdateLocTFromData mirrors the standard: source PVs of forwarded
+	// packets refresh the LocT, not just beacons. Default true.
+	UpdateLocTFromData *bool
+
+	// Rand drives the router's stochastic choices (beacon jitter). When
+	// nil a private PCG stream seeded from the address is used, making
+	// each router's beacon schedule independent of global event ordering
+	// — this keeps attack-free and attacked arms of an A/B experiment
+	// perfectly paired.
+	Rand *rand.Rand
+
+	// OnDeliver is invoked once per packet delivered to the upper layer.
+	OnDeliver func(p *Packet)
+
+	// ForwardFilter and DuplicateRule are the mitigation hooks; nil means
+	// standard-compliant behavior.
+	ForwardFilter ForwardFilter
+	DuplicateRule DuplicateRule
+}
+
+// Router is one node's GeoNetworking engine. Create with NewRouter, wire
+// it to the medium with Start, and tear it down with Stop when the node
+// leaves the simulation.
+type Router struct {
+	cfg     Config
+	antenna *radio.Antenna
+	loct    *LocT
+	stats   Stats
+
+	seq          uint16
+	state        map[Key]*pktState
+	lsQueue      map[Address][]lsPending
+	beaconTimer  *sim.Event
+	retryTimers  map[*pending]*sim.Event
+	updateFromDa bool
+	started      bool
+	stopped      bool
+}
+
+// pktState tracks per-packet progress at this node.
+type pktState struct {
+	delivered bool
+	// gfSeen marks the packet as having entered GF handling at least once.
+	gfSeen bool
+	// custody is true while the packet sits in this node's
+	// store-carry-forward buffer; duplicates are ignored meanwhile.
+	custody bool
+	// prevHop is the link-layer sender we last accepted the packet from;
+	// GF never hands the packet straight back to it (split horizon), which
+	// keeps custody transfers between two carriers from livelocking.
+	prevHop Address
+	// tsbDone marks a topologically-flooded packet (TSB/LS request) as
+	// already re-broadcast or intentionally not re-broadcast here.
+	tsbDone bool
+	// cbf contention fields.
+	cbfSeen      bool
+	cbfResolved  bool // forwarded, canceled, or not eligible
+	cbfFirstRHL  uint8
+	cbfSendRHL   uint8
+	cbfTimer     *sim.Event
+	cbfForwarded bool
+}
+
+// pending is a store-carry-forward buffered packet.
+type pending struct {
+	pkt      *Packet
+	deadline time.Duration
+	target   geo.Point // GF target (dest position or area center)
+	st       *pktState
+}
+
+var _ radio.Receiver = (*Router)(nil)
+
+// NewRouter validates the configuration and constructs a router. The
+// router is inert until Start.
+func NewRouter(cfg Config) *Router {
+	if cfg.Engine == nil || cfg.Medium == nil || cfg.Signer == nil || cfg.Verifier == nil {
+		panic("geonet: Engine, Medium, Signer and Verifier are required")
+	}
+	if cfg.Position == nil {
+		panic("geonet: Position is required")
+	}
+	if cfg.Range <= 0 {
+		panic(fmt.Sprintf("geonet: non-positive range %v", cfg.Range))
+	}
+	if cfg.BeaconInterval == 0 {
+		cfg.BeaconInterval = DefaultBeaconInterval
+	}
+	if cfg.BeaconJitter == 0 {
+		cfg.BeaconJitter = DefaultBeaconJitter
+	}
+	if cfg.NeighborLifetime == 0 {
+		cfg.NeighborLifetime = cfg.BeaconInterval + cfg.BeaconJitter
+	}
+	if cfg.TOMin == 0 {
+		cfg.TOMin = DefaultTOMin
+	}
+	if cfg.TOMax == 0 {
+		cfg.TOMax = DefaultTOMax
+	}
+	if cfg.MaxHopLimit == 0 {
+		cfg.MaxHopLimit = DefaultMaxHopLimit
+	}
+	if cfg.PacketLifetime == 0 {
+		cfg.PacketLifetime = DefaultPacketLifetime
+	}
+	if cfg.RetryInterval == 0 {
+		cfg.RetryInterval = DefaultRetryInterval
+	}
+	if cfg.ForwardFilter == nil {
+		cfg.ForwardFilter = acceptAll{}
+	}
+	if cfg.DuplicateRule == nil {
+		cfg.DuplicateRule = alwaysDuplicate{}
+	}
+	updateFromData := true
+	if cfg.UpdateLocTFromData != nil {
+		updateFromData = *cfg.UpdateLocTFromData
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.New(rand.NewPCG(uint64(cfg.Addr), uint64(cfg.Addr)^0xda3e39cb94b95bdb))
+	}
+	return &Router{
+		cfg:          cfg,
+		loct:         NewLocT(cfg.LocTTTL, cfg.NeighborLifetime),
+		state:        make(map[Key]*pktState),
+		lsQueue:      make(map[Address][]lsPending),
+		retryTimers:  make(map[*pending]*sim.Event),
+		updateFromDa: updateFromData,
+	}
+}
+
+// Addr reports the router's GeoNetworking address.
+func (r *Router) Addr() Address { return r.cfg.Addr }
+
+// LocT exposes the location table (tests, metrics, attacker-free
+// diagnostics).
+func (r *Router) LocT() *LocT { return r.loct }
+
+// Stats returns a copy of the router counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// Position reports the node's current position.
+func (r *Router) Position() geo.Point { return r.cfg.Position() }
+
+// Start attaches the router to the medium and begins beaconing. The
+// first beacon is sent after a uniform random share of the beacon
+// interval so that node beacons are desynchronized, as in a real network.
+func (r *Router) Start() {
+	if r.started {
+		panic("geonet: router started twice")
+	}
+	r.started = true
+	r.antenna = r.cfg.Medium.Attach(radio.NodeID(r.cfg.Addr), r.cfg.Range, r.cfg.Position, r, false)
+	first := time.Duration(r.cfg.Rand.Int64N(int64(r.cfg.BeaconInterval)))
+	r.beaconTimer = r.cfg.Engine.Schedule(first, "geonet.beacon", r.beaconTick)
+}
+
+// Stop detaches from the medium and cancels all timers. Buffered packets
+// are dropped — the node left the road with them.
+func (r *Router) Stop() {
+	if r.stopped {
+		return
+	}
+	r.stopped = true
+	if r.beaconTimer != nil {
+		r.beaconTimer.Cancel()
+	}
+	for p, ev := range r.retryTimers {
+		ev.Cancel()
+		delete(r.retryTimers, p)
+	}
+	for _, st := range r.state {
+		if st.cbfTimer != nil {
+			st.cbfTimer.Cancel()
+		}
+	}
+	r.cfg.Medium.Detach(radio.NodeID(r.cfg.Addr))
+}
+
+// pv samples the node's current position vector.
+func (r *Router) pv() PositionVector {
+	var v geo.Vector
+	if r.cfg.Velocity != nil {
+		v = r.cfg.Velocity()
+	}
+	return PositionVector{
+		Addr:      r.cfg.Addr,
+		Timestamp: r.cfg.Engine.Now(),
+		Pos:       r.cfg.Position(),
+		Speed:     v.Length(),
+		Heading:   v.Heading(),
+	}
+}
+
+func (r *Router) beaconTick() {
+	if r.stopped {
+		return
+	}
+	r.SendBeacon()
+	r.purgeLSQueue()
+	next := r.cfg.BeaconInterval + time.Duration(r.cfg.Rand.Int64N(int64(r.cfg.BeaconJitter)))
+	r.beaconTimer = r.cfg.Engine.Schedule(next, "geonet.beacon", r.beaconTick)
+}
+
+// SendBeacon broadcasts a single-hop beacon advertising the node's PV.
+func (r *Router) SendBeacon() {
+	p := &Packet{
+		Basic:    BasicHeader{Version: protocolVersion, RHL: 1, LifetimeMs: uint32(r.cfg.BeaconInterval / time.Millisecond)},
+		Type:     TypeBeacon,
+		SourcePV: r.pv(),
+	}
+	p.Sign(r.cfg.Signer)
+	r.stats.BeaconsSent++
+	r.cfg.Medium.Send(r.antenna, radio.BroadcastID, p.Marshal())
+}
+
+// SendGeoUnicast originates a GUC packet toward a destination node at a
+// known position and routes it with GF. It returns the packet key for
+// end-to-end tracking.
+func (r *Router) SendGeoUnicast(dest Address, destPos geo.Point, payload []byte) Key {
+	r.seq++
+	p := &Packet{
+		Basic: BasicHeader{
+			Version:    protocolVersion,
+			RHL:        r.cfg.MaxHopLimit,
+			LifetimeMs: uint32(r.cfg.PacketLifetime / time.Millisecond),
+		},
+		Type:     TypeGeoUnicast,
+		SN:       r.seq,
+		SourcePV: r.pv(),
+		DestAddr: dest,
+		DestPos:  destPos,
+		Payload:  payload,
+	}
+	p.Sign(r.cfg.Signer)
+	r.stats.Originated++
+	st := r.stateFor(p.Key())
+	st.gfSeen = true
+	r.forwardGreedy(p, destPos, st)
+	return p.Key()
+}
+
+// SendGeoBroadcast originates a GBC packet for the destination area. If
+// the node is inside the area it seeds the CBF flood; otherwise the
+// packet first travels toward the area with GF. It returns the packet key.
+func (r *Router) SendGeoBroadcast(area geo.Area, payload []byte) Key {
+	r.seq++
+	p := &Packet{
+		Basic: BasicHeader{
+			Version:    protocolVersion,
+			RHL:        r.cfg.MaxHopLimit,
+			LifetimeMs: uint32(r.cfg.PacketLifetime / time.Millisecond),
+		},
+		Type:     TypeGeoBroadcast,
+		SN:       r.seq,
+		SourcePV: r.pv(),
+		Area:     area,
+		Payload:  payload,
+	}
+	p.Sign(r.cfg.Signer)
+	r.stats.Originated++
+	st := r.stateFor(p.Key())
+	if area.Contains(r.cfg.Position()) {
+		// Source is inside the area: broadcast and never contend for this
+		// packet again.
+		st.cbfSeen = true
+		st.cbfResolved = true
+		st.cbfFirstRHL = p.Basic.RHL
+		out := p.Clone()
+		out.Basic.RHL--
+		r.cfg.Medium.Send(r.antenna, radio.BroadcastID, out.Marshal())
+	} else {
+		st.gfSeen = true
+		r.forwardGreedy(p, area.Center(), st)
+	}
+	return p.Key()
+}
+
+// Deliver implements radio.Receiver: the router's frame ingress path.
+func (r *Router) Deliver(f radio.Frame) {
+	if r.stopped {
+		return
+	}
+	p, err := Unmarshal(f.Payload)
+	if err != nil {
+		r.stats.DecodeErrors++
+		return
+	}
+	if err := p.Verify(r.cfg.Verifier, r.cfg.Engine.Now()); err != nil {
+		// Forged or tampered: the security layer rejects it. Replays of
+		// authentic messages pass — the paper's attacks live here.
+		r.stats.AuthFailures++
+		return
+	}
+	if p.SourcePV.Addr == r.cfg.Addr {
+		// Echo of our own packet (e.g. replayed by an attacker).
+		return
+	}
+	now := r.cfg.Engine.Now()
+	if p.Type == TypeBeacon || r.updateFromDa {
+		// No plausibility check on the PV: the beacon may have been
+		// relayed from far away (vulnerability #2 of the GF analysis).
+		// The IS_NEIGHBOUR flag is derived from the PACKET TYPE alone, so
+		// a relayed beacon marks its (possibly distant) source as a
+		// direct neighbor.
+		single := p.Type == TypeBeacon || p.Type == TypeSHB
+		r.loct.Update(p.SourcePV, now, single)
+	}
+
+	switch p.Type {
+	case TypeBeacon:
+		r.stats.BeaconsReceived++
+	case TypeGeoUnicast:
+		r.handleGUC(p, f)
+	case TypeGeoBroadcast:
+		r.handleGBC(p, f)
+	case TypeSHB:
+		r.handleSHB(p)
+	case TypeTSB:
+		r.handleTSB(p)
+	case TypeLSRequest:
+		r.handleLSRequest(p, f)
+	case TypeLSReply:
+		r.handleLSReply(p, f)
+	}
+}
+
+func (r *Router) stateFor(k Key) *pktState {
+	st, ok := r.state[k]
+	if !ok {
+		st = &pktState{}
+		r.state[k] = st
+	}
+	return st
+}
+
+func (r *Router) deliverOnce(p *Packet, st *pktState) {
+	if st.delivered {
+		r.stats.Duplicates++
+		return
+	}
+	st.delivered = true
+	r.stats.Delivered++
+	if r.cfg.OnDeliver != nil {
+		r.cfg.OnDeliver(p)
+	}
+}
+
+func (r *Router) handleGUC(p *Packet, f radio.Frame) {
+	st := r.stateFor(p.Key())
+	if p.DestAddr == r.cfg.Addr {
+		r.deliverOnce(p, st)
+		return
+	}
+	r.relayGreedy(p, f, st, p.DestPos)
+}
+
+// relayGreedy is the shared GF relay path for GUC packets and for GBC
+// packets handled outside their destination area. A packet received again
+// after we forwarded it away is a custody transfer back to us (our chosen
+// next hop gave it up, typically from a store-carry-forward buffer), and
+// we take it again; while it sits in our own buffer, duplicates are
+// ignored. Without re-custody, any handover between two carriers would
+// strand the packet — plain duplicate-discard only works for connected
+// multi-hop paths. Loops stay bounded by the RHL.
+func (r *Router) relayGreedy(p *Packet, f radio.Frame, st *pktState, target geo.Point) {
+	if st.custody {
+		r.stats.Duplicates++
+		return
+	}
+	if st.gfSeen {
+		r.stats.GFRecustody++
+	}
+	st.gfSeen = true
+	st.prevHop = Address(f.From)
+	if p.Basic.RHL <= 1 {
+		r.stats.RHLExpired++
+		return
+	}
+	out := p.Clone()
+	out.Basic.RHL--
+	r.forwardGreedy(out, target, st)
+}
+
+func (r *Router) handleGBC(p *Packet, f radio.Frame) {
+	st := r.stateFor(p.Key())
+	inside := p.Area.Contains(r.cfg.Position())
+	if inside {
+		r.deliverOnce(p, st)
+		r.contend(p, f, st)
+		return
+	}
+	// Outside the area: we are a GF relay toward it.
+	r.relayGreedy(p, f, st, p.Area.Center())
+}
+
+// contend runs the CBF state machine for an in-area GBC reception.
+func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
+	if st.cbfSeen {
+		// Second (or later) copy.
+		if st.cbfResolved {
+			r.stats.Duplicates++
+			return
+		}
+		if r.cfg.DuplicateRule.CancelsContention(st.cbfFirstRHL, p.Basic.RHL) {
+			// Someone else re-broadcast first: discard the buffered packet
+			// (vulnerability: no check of WHO that someone is).
+			st.cbfResolved = true
+			st.cbfTimer.Cancel()
+			r.stats.CBFCanceled++
+		} else {
+			r.stats.CBFIgnored++
+		}
+		return
+	}
+	st.cbfSeen = true
+	st.cbfFirstRHL = p.Basic.RHL
+	if p.Basic.RHL <= 1 {
+		// Hop limit exhausted: deliver-only, never forward. The blockage
+		// attack manufactures exactly this state at hop n+2.
+		st.cbfResolved = true
+		r.stats.RHLExpired++
+		return
+	}
+	if f.To != radio.BroadcastID {
+		// We are the GF entry point into the area: re-broadcast without
+		// contention delay.
+		st.cbfResolved = true
+		out := p.Clone()
+		out.Basic.RHL--
+		r.stats.CBFForwarded++
+		r.cfg.Medium.Send(r.antenna, radio.BroadcastID, out.Marshal())
+		return
+	}
+	st.cbfSendRHL = p.Basic.RHL - 1
+	to := r.contentionTimeout(f)
+	buffered := p.Clone()
+	r.stats.CBFBuffered++
+	st.cbfTimer = r.cfg.Engine.Schedule(to, "geonet.cbf", func() {
+		if r.stopped || st.cbfResolved {
+			return
+		}
+		st.cbfResolved = true
+		st.cbfForwarded = true
+		out := buffered
+		out.Basic.RHL = st.cbfSendRHL
+		r.stats.CBFForwarded++
+		r.cfg.Medium.Send(r.antenna, radio.BroadcastID, out.Marshal())
+	})
+}
+
+// contentionTimeout computes TO from the distance to the previous sender.
+// The sender position comes from the location table entry for the
+// link-layer sender, as in the standard; an unknown sender yields TO_MAX.
+func (r *Router) contentionTimeout(f radio.Frame) time.Duration {
+	now := r.cfg.Engine.Now()
+	entry := r.loct.Lookup(Address(f.From), now)
+	if entry == nil {
+		return r.cfg.TOMax
+	}
+	dist := r.cfg.Position().DistanceTo(entry.PV.Pos)
+	if dist > r.cfg.Range {
+		return r.cfg.TOMin
+	}
+	span := float64(r.cfg.TOMax - r.cfg.TOMin)
+	to := float64(r.cfg.TOMax) - span*dist/r.cfg.Range
+	return time.Duration(to)
+}
+
+// forwardGreedy runs the GF next-hop selection for p toward target. With
+// no eligible neighbor the packet enters the store-carry-forward buffer.
+func (r *Router) forwardGreedy(p *Packet, target geo.Point, st *pktState) {
+	if r.trySendGreedy(p, target, st) {
+		return
+	}
+	r.buffer(p, target, st)
+}
+
+// trySendGreedy attempts one GF transmission; it reports success.
+func (r *Router) trySendGreedy(p *Packet, target geo.Point, st *pktState) bool {
+	now := r.cfg.Engine.Now()
+	self := r.cfg.Position()
+	myDist := self.DistanceTo(target)
+	best := r.loct.Closest(target, now, func(e *LocTEntry, estPos geo.Point) bool {
+		if !e.NeighborAt(now) {
+			// GF only considers entries with live IS_NEIGHBOUR status.
+			return false
+		}
+		if e.Addr == p.SourcePV.Addr {
+			// Never route a packet back to its source.
+			return false
+		}
+		if e.Addr == st.prevHop {
+			// Split horizon: not straight back to who handed it to us.
+			return false
+		}
+		if estPos.DistanceTo(target) >= myDist {
+			return false
+		}
+		if !r.cfg.ForwardFilter.Accept(self, estPos, e) {
+			r.stats.GFFiltered++
+			return false
+		}
+		return true
+	})
+	if best == nil {
+		return false
+	}
+	r.stats.GFForwarded++
+	r.cfg.Medium.Send(r.antenna, radio.NodeID(best.Addr), p.Marshal())
+	return true
+}
+
+// buffer admits p to the store-carry-forward buffer and schedules
+// retries until the packet lifetime runs out.
+func (r *Router) buffer(p *Packet, target geo.Point, st *pktState) {
+	lifetime := time.Duration(p.Basic.LifetimeMs) * time.Millisecond
+	pe := &pending{
+		pkt:      p,
+		deadline: r.cfg.Engine.Now() + lifetime,
+		target:   target,
+		st:       st,
+	}
+	st.custody = true
+	r.stats.GFBuffered++
+	r.scheduleRetry(pe)
+}
+
+func (r *Router) scheduleRetry(pe *pending) {
+	ev := r.cfg.Engine.Schedule(r.cfg.RetryInterval, "geonet.gfretry", func() {
+		delete(r.retryTimers, pe)
+		if r.stopped {
+			return
+		}
+		if r.cfg.Engine.Now() > pe.deadline {
+			pe.st.custody = false
+			r.stats.GFExpired++
+			return
+		}
+		r.stats.GFRetries++
+		if r.trySendGreedy(pe.pkt, pe.target, pe.st) {
+			pe.st.custody = false
+			return
+		}
+		r.scheduleRetry(pe)
+	})
+	r.retryTimers[pe] = ev
+}

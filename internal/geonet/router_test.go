@@ -1,0 +1,516 @@
+package geonet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/geo"
+	"github.com/vanetsec/georoute/internal/radio"
+	"github.com/vanetsec/georoute/internal/security"
+	"github.com/vanetsec/georoute/internal/sim"
+)
+
+// world is a small test fixture: engine, medium, CA and routers.
+type world struct {
+	t       *testing.T
+	engine  *sim.Engine
+	medium  *radio.Medium
+	ca      *security.SimCA
+	routers map[Address]*Router
+	// delivered[key] lists the addresses that delivered the packet.
+	delivered map[Key][]Address
+}
+
+func newWorld(t *testing.T) *world {
+	t.Helper()
+	e := sim.NewEngine(7)
+	return &world{
+		t:         t,
+		engine:    e,
+		medium:    radio.NewMedium(e, radio.Config{}),
+		ca:        security.NewSimCA(1),
+		routers:   make(map[Address]*Router),
+		delivered: make(map[Key][]Address),
+	}
+}
+
+// addNode creates and starts a router at a fixed position.
+func (w *world) addNode(addr Address, pos geo.Point, rangeM float64, mutate func(*Config)) *Router {
+	w.t.Helper()
+	cfg := Config{
+		Addr:     addr,
+		Engine:   w.engine,
+		Medium:   w.medium,
+		Signer:   w.ca.Enroll(security.StationID(addr), 0),
+		Verifier: w.ca,
+		Position: func() geo.Point { return pos },
+		Range:    rangeM,
+		OnDeliver: func(p *Packet) {
+			w.delivered[p.Key()] = append(w.delivered[p.Key()], addr)
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	r := NewRouter(cfg)
+	r.Start()
+	w.routers[addr] = r
+	return r
+}
+
+func (w *world) deliveredTo(k Key, addr Address) bool {
+	for _, a := range w.delivered[k] {
+		if a == addr {
+			return true
+		}
+	}
+	return false
+}
+
+func TestBeaconingPopulatesLocT(t *testing.T) {
+	w := newWorld(t)
+	a := w.addNode(1, geo.Pt(0, 0), 500, nil)
+	b := w.addNode(2, geo.Pt(300, 0), 500, nil)
+	w.addNode(3, geo.Pt(700, 0), 500, nil) // out of range of node 1, within node 2's
+
+	w.engine.Run(10 * time.Second)
+
+	if a.LocT().Lookup(2, w.engine.Now()) == nil {
+		t.Fatal("node 1 must learn node 2 from beacons")
+	}
+	if a.LocT().Lookup(3, w.engine.Now()) != nil {
+		t.Fatal("node 1 must not learn out-of-range node 3")
+	}
+	if b.LocT().Lookup(1, w.engine.Now()) == nil || b.LocT().Lookup(3, w.engine.Now()) == nil {
+		t.Fatal("node 2 must learn both neighbors")
+	}
+	if got := a.Stats().BeaconsSent; got < 2 || got > 5 {
+		t.Fatalf("BeaconsSent in 10s = %d, want ~3 (3s interval + jitter)", got)
+	}
+	entry := a.LocT().Lookup(2, w.engine.Now())
+	if !entry.IsNeighbor {
+		t.Fatal("beacon-learned entry must be flagged IsNeighbor")
+	}
+}
+
+func TestBeaconJitterBounds(t *testing.T) {
+	// Observed beacon spacing stays within [interval, interval+jitter].
+	w := newWorld(t)
+	var times []time.Duration
+	w.addNode(1, geo.Pt(0, 0), 500, nil)
+	rx := w.addNode(2, geo.Pt(10, 0), 500, nil)
+	_ = rx
+	// Count receptions at node 2 via stats over a long window.
+	w.engine.Run(100 * time.Second)
+	got := w.routers[2].Stats().BeaconsReceived
+	// 100 s / mean period 3.375 s ~ 29.6 beacons.
+	if got < 25 || got > 34 {
+		t.Fatalf("BeaconsReceived = %d, want ~30", got)
+	}
+	_ = times
+}
+
+func TestGUCMultiHopDelivery(t *testing.T) {
+	// A chain of nodes 400 m apart with 500 m range: GF must hop the
+	// packet greedily to the destination.
+	w := newWorld(t)
+	for i := 0; i <= 5; i++ {
+		w.addNode(Address(i+1), geo.Pt(float64(i)*400, 0), 500, nil)
+	}
+	w.engine.Run(10 * time.Second) // let beacons populate LocTs
+
+	src := w.routers[1]
+	key := src.SendGeoUnicast(6, geo.Pt(2000, 0), []byte("hello"))
+	w.engine.Run(11 * time.Second)
+
+	if !w.deliveredTo(key, 6) {
+		t.Fatal("GUC not delivered to destination")
+	}
+	for a := Address(2); a <= 5; a++ {
+		if w.deliveredTo(key, a) {
+			t.Fatalf("intermediate node %d delivered a GUC addressed elsewhere", a)
+		}
+	}
+	// Greedy: every intermediate hop forwarded at most once.
+	for a := Address(2); a <= 5; a++ {
+		if got := w.routers[a].Stats().GFForwarded; got > 1 {
+			t.Fatalf("node %d forwarded %d times, want <= 1", a, got)
+		}
+	}
+}
+
+func TestGUCDirectNeighborSingleHop(t *testing.T) {
+	w := newWorld(t)
+	w.addNode(1, geo.Pt(0, 0), 500, nil)
+	w.addNode(2, geo.Pt(100, 0), 500, nil)
+	w.engine.Run(5 * time.Second)
+	key := w.routers[1].SendGeoUnicast(2, geo.Pt(100, 0), nil)
+	w.engine.Run(6 * time.Second)
+	if !w.deliveredTo(key, 2) {
+		t.Fatal("single-hop GUC not delivered")
+	}
+}
+
+func TestGFBuffersWithoutProgressThenRetries(t *testing.T) {
+	// No neighbor is closer to the target at send time; a later-started
+	// node appears (beacons) and the buffered packet goes out on retry.
+	w := newWorld(t)
+	src := w.addNode(1, geo.Pt(0, 0), 500, nil)
+	w.engine.Run(4 * time.Second)
+	key := src.SendGeoUnicast(9, geo.Pt(2000, 0), nil)
+	w.engine.Run(6 * time.Second)
+	if src.Stats().GFBuffered != 1 {
+		t.Fatalf("GFBuffered = %d, want 1", src.Stats().GFBuffered)
+	}
+	// A relay and the destination appear.
+	w.addNode(2, geo.Pt(450, 0), 500, nil)
+	w.addNode(9, geo.Pt(900, 0), 500, nil)
+	w.engine.Run(20 * time.Second)
+	if !w.deliveredTo(key, 9) {
+		t.Fatal("buffered packet not delivered after neighbors appeared")
+	}
+	if src.Stats().GFRetries == 0 {
+		t.Fatal("retry counter must have advanced")
+	}
+}
+
+func TestGFBufferedPacketExpires(t *testing.T) {
+	w := newWorld(t)
+	src := w.addNode(1, geo.Pt(0, 0), 500, func(c *Config) {
+		c.PacketLifetime = 3 * time.Second
+	})
+	w.engine.Run(time.Second)
+	src.SendGeoUnicast(9, geo.Pt(2000, 0), nil)
+	w.engine.Run(30 * time.Second)
+	st := src.Stats()
+	if st.GFExpired != 1 {
+		t.Fatalf("GFExpired = %d, want 1", st.GFExpired)
+	}
+	// After expiry the retry machinery stops: retries are bounded by
+	// lifetime/interval.
+	if st.GFRetries > 4 {
+		t.Fatalf("GFRetries = %d, want <= 4 for a 3s lifetime", st.GFRetries)
+	}
+}
+
+func TestGFNeverRoutesBackward(t *testing.T) {
+	// Node 2 is between 1 and 3 but target is east of 3: node 2 must not
+	// pick node 1 (west) as next hop even though it is a neighbor.
+	w := newWorld(t)
+	w.addNode(1, geo.Pt(0, 0), 500, nil)
+	w.addNode(2, geo.Pt(400, 0), 500, nil)
+	w.engine.Run(5 * time.Second)
+	key := w.routers[1].SendGeoUnicast(9, geo.Pt(4000, 0), nil)
+	w.engine.Run(10 * time.Second)
+	// Node 2 has no neighbor closer to (4000,0) than itself: it buffers.
+	if w.routers[2].Stats().GFForwarded != 0 {
+		t.Fatal("node 2 forwarded despite having no eastward neighbor")
+	}
+	if w.routers[2].Stats().GFBuffered != 1 {
+		t.Fatalf("node 2 GFBuffered = %d, want 1", w.routers[2].Stats().GFBuffered)
+	}
+	_ = key
+}
+
+func TestGUCRHLExhaustion(t *testing.T) {
+	w := newWorld(t)
+	for i := 0; i <= 5; i++ {
+		mutate := func(c *Config) { c.MaxHopLimit = 3 }
+		w.addNode(Address(i+1), geo.Pt(float64(i)*400, 0), 500, mutate)
+	}
+	w.engine.Run(10 * time.Second)
+	key := w.routers[1].SendGeoUnicast(6, geo.Pt(2000, 0), nil)
+	w.engine.Run(11 * time.Second)
+	if w.deliveredTo(key, 6) {
+		t.Fatal("packet delivered despite hop limit 3 over a 5-hop path")
+	}
+	var rhlDrops uint64
+	for _, r := range w.routers {
+		rhlDrops += r.Stats().RHLExpired
+	}
+	if rhlDrops == 0 {
+		t.Fatal("no router recorded RHL exhaustion")
+	}
+}
+
+func TestCBFFloodsWholeArea(t *testing.T) {
+	// 9 nodes spaced 400 m over 3,200 m, area covers everything: all must
+	// deliver, and nobody re-broadcasts twice.
+	w := newWorld(t)
+	for i := 0; i < 9; i++ {
+		w.addNode(Address(i+1), geo.Pt(float64(i)*400, 0), 500, nil)
+	}
+	w.engine.Run(10 * time.Second)
+	area := geo.NewRect(geo.Pt(1600, 0), 1700, 50, 90)
+	key := w.routers[5].SendGeoBroadcast(area, []byte("flood")) // middle node
+	w.engine.Run(12 * time.Second)
+
+	for a := Address(1); a <= 9; a++ {
+		if a == 5 {
+			continue // source does not deliver to itself
+		}
+		if !w.deliveredTo(key, a) {
+			t.Fatalf("node %d missed the GBC flood", a)
+		}
+	}
+	for a := Address(1); a <= 9; a++ {
+		st := w.routers[a].Stats()
+		if st.CBFForwarded > 1 {
+			t.Fatalf("node %d re-broadcast %d times, want <= 1", a, st.CBFForwarded)
+		}
+	}
+}
+
+func TestCBFFartherNodeForwardsFirst(t *testing.T) {
+	// Two candidates: the farther one has the smaller TO and wins; the
+	// nearer one cancels.
+	w := newWorld(t)
+	w.addNode(1, geo.Pt(0, 0), 500, nil)
+	near := w.addNode(2, geo.Pt(100, 0), 500, nil)
+	far := w.addNode(3, geo.Pt(450, 0), 500, nil)
+	w.engine.Run(10 * time.Second)
+	area := geo.NewRect(geo.Pt(500, 0), 600, 50, 90)
+	w.routers[1].SendGeoBroadcast(area, nil)
+	w.engine.Run(11 * time.Second)
+
+	if far.Stats().CBFForwarded != 1 {
+		t.Fatalf("far node CBFForwarded = %d, want 1", far.Stats().CBFForwarded)
+	}
+	if near.Stats().CBFForwarded != 0 {
+		t.Fatalf("near node CBFForwarded = %d, want 0 (canceled)", near.Stats().CBFForwarded)
+	}
+	if near.Stats().CBFCanceled != 1 {
+		t.Fatalf("near node CBFCanceled = %d, want 1", near.Stats().CBFCanceled)
+	}
+}
+
+func TestCBFContentionTimeoutFormula(t *testing.T) {
+	w := newWorld(t)
+	r := w.addNode(1, geo.Pt(0, 0), 500, nil)
+	// Sender known in LocT at 250 m: TO = TOMax - (TOMax-TOMin)*250/500.
+	r.LocT().Update(PositionVector{Addr: 2, Timestamp: 1, Pos: geo.Pt(250, 0)}, 0, true)
+	f := radio.Frame{From: 2}
+	got := r.contentionTimeout(f)
+	want := 50*time.Millisecond + 500*time.Microsecond
+	if got != want {
+		t.Fatalf("TO at 250/500 m = %v, want %v", got, want)
+	}
+	// Unknown sender: TO_MAX.
+	if got := r.contentionTimeout(radio.Frame{From: 99}); got != DefaultTOMax {
+		t.Fatalf("TO for unknown sender = %v, want TOMax", got)
+	}
+	// Beyond DIST_MAX: TO_MIN.
+	r.LocT().Update(PositionVector{Addr: 3, Timestamp: 1, Pos: geo.Pt(900, 0)}, 0, true)
+	if got := r.contentionTimeout(radio.Frame{From: 3}); got != DefaultTOMin {
+		t.Fatalf("TO beyond DIST_MAX = %v, want TOMin", got)
+	}
+}
+
+func TestGBCRHLOneDeliversButNeverForwards(t *testing.T) {
+	w := newWorld(t)
+	src := w.addNode(1, geo.Pt(0, 0), 500, func(c *Config) { c.MaxHopLimit = 2 })
+	mid := w.addNode(2, geo.Pt(400, 0), 500, nil)
+	farNode := w.addNode(3, geo.Pt(800, 0), 500, nil)
+	w.engine.Run(10 * time.Second)
+	area := geo.NewRect(geo.Pt(600, 0), 700, 50, 90)
+	key := src.SendGeoBroadcast(area, nil)
+	w.engine.Run(12 * time.Second)
+
+	// src sends with RHL=2, broadcast decrements to 1. mid receives RHL=1:
+	// delivers, never contends. far never hears it.
+	if !w.deliveredTo(key, 2) {
+		t.Fatal("mid node must deliver")
+	}
+	if mid.Stats().CBFForwarded != 0 || mid.Stats().CBFBuffered != 0 {
+		t.Fatalf("mid node forwarded despite RHL exhaustion: %+v", mid.Stats())
+	}
+	if w.deliveredTo(key, 3) {
+		t.Fatal("far node must not receive: flooding stopped by RHL")
+	}
+	_ = farNode
+}
+
+func TestGBCUnicastEntryRebroadcastsImmediately(t *testing.T) {
+	// Source outside the area GF-forwards into it; the entry node
+	// re-broadcasts without contention delay.
+	w := newWorld(t)
+	src := w.addNode(1, geo.Pt(0, 0), 500, nil)
+	entry := w.addNode(2, geo.Pt(450, 0), 500, nil)
+	inner := w.addNode(3, geo.Pt(800, 0), 500, nil)
+	w.engine.Run(10 * time.Second)
+	area := geo.NewCircle(geo.Pt(800, 0), 380) // source and its range edge outside
+	key := src.SendGeoBroadcast(area, nil)
+	w.engine.Run(12 * time.Second)
+
+	if src.Stats().GFForwarded != 1 {
+		t.Fatalf("source GFForwarded = %d, want 1 (GF toward area)", src.Stats().GFForwarded)
+	}
+	if entry.Stats().CBFForwarded != 1 {
+		t.Fatalf("entry CBFForwarded = %d, want 1", entry.Stats().CBFForwarded)
+	}
+	if !w.deliveredTo(key, 2) || !w.deliveredTo(key, 3) {
+		t.Fatal("area nodes must deliver")
+	}
+	_ = inner
+}
+
+func TestReplayedBeaconPoisonsLocT(t *testing.T) {
+	// The inter-area attack primitive at the router level: re-injecting a
+	// captured beacon makes the victim record an out-of-range node as a
+	// neighbor, because no plausibility check exists.
+	w := newWorld(t)
+	victim := w.addNode(1, geo.Pt(0, 0), 500, nil)
+	remote := w.addNode(3, geo.Pt(2000, 0), 500, nil)
+	w.engine.Run(5 * time.Second)
+	if victim.LocT().Lookup(3, w.engine.Now()) != nil {
+		t.Fatal("sanity: remote must not be known yet")
+	}
+	// Capture a beacon equivalent: build one signed by the remote node
+	// and hand it to the victim as a frame from an unknown link sender
+	// (the attacker's pseudonym, id 666).
+	beacon := &Packet{
+		Basic:    BasicHeader{Version: 1, RHL: 1},
+		Type:     TypeBeacon,
+		SourcePV: remote.pv(),
+	}
+	beacon.Sign(remote.cfg.Signer)
+	victim.Deliver(radio.Frame{From: 666, To: radio.BroadcastID, Payload: beacon.Marshal()})
+
+	e := victim.LocT().Lookup(3, w.engine.Now())
+	if e == nil {
+		t.Fatal("replayed beacon rejected — attack primitive broken")
+	}
+	if !e.IsNeighbor {
+		t.Fatal("replayed beacon must set IsNeighbor (type-based flag)")
+	}
+	if e.PV.Pos.DistanceTo(geo.Pt(2000, 0)) > 1 {
+		t.Fatalf("poisoned entry position = %v", e.PV.Pos)
+	}
+}
+
+func TestForwardFilterExcludesCandidate(t *testing.T) {
+	w := newWorld(t)
+	src := w.addNode(1, geo.Pt(0, 0), 500, func(c *Config) {
+		c.ForwardFilter = maxDistFilter{max: 480}
+	})
+	w.addNode(2, geo.Pt(300, 0), 500, nil)
+	w.engine.Run(5 * time.Second)
+	// Poison src's LocT with a far-away "neighbor" closer to the target.
+	src.LocT().Update(PositionVector{Addr: 9, Timestamp: w.engine.Now(), Pos: geo.Pt(900, 0)}, w.engine.Now(), true)
+
+	key := src.SendGeoUnicast(99, geo.Pt(2000, 0), nil)
+	w.engine.Run(7 * time.Second)
+	// With the filter, node 2 (300 m) is chosen over the poisoned 900 m
+	// entry; node 2 buffers it onward, but the first hop must have been 2.
+	if src.Stats().GFFiltered == 0 {
+		t.Fatal("filter never consulted")
+	}
+	if w.routers[2].Stats().Duplicates+w.routers[2].Stats().GFBuffered == 0 {
+		t.Fatal("node 2 never received the packet — filter did not redirect")
+	}
+	_ = key
+}
+
+type maxDistFilter struct{ max float64 }
+
+func (f maxDistFilter) Accept(self, estPos geo.Point, _ *LocTEntry) bool {
+	return self.DistanceTo(estPos) < f.max
+}
+
+func TestDuplicateRuleSuppressesCancellation(t *testing.T) {
+	// With a rule that ignores implausible RHL drops, a forged duplicate
+	// with RHL 1 does not cancel the contention timer.
+	w := newWorld(t)
+	tap := &frameTap{}
+	w.medium.Attach(700, 500, func() geo.Point { return geo.Pt(10, 0) }, tap, true)
+	src := w.addNode(1, geo.Pt(0, 0), 500, nil)
+	cand := w.addNode(2, geo.Pt(300, 0), 500, func(c *Config) {
+		c.DuplicateRule = maxDropRule{maxDrop: 3}
+	})
+	w.engine.Run(5 * time.Second)
+	area := geo.NewRect(geo.Pt(500, 0), 600, 50, 90)
+	src.SendGeoBroadcast(area, nil)
+	w.engine.Run(5*time.Second + 10*time.Millisecond)
+
+	// Capture the real broadcast, rewrite the RHL (unsigned field) and
+	// hand-deliver the forged duplicate while node 2 is still contending
+	// (its TO at 300/500 m is ~41 ms).
+	captured := tap.lastGBC(t)
+	forged := captured.Clone()
+	forged.Basic.RHL = 1
+	cand.Deliver(radio.Frame{From: 666, To: radio.BroadcastID, Payload: forged.Marshal()})
+
+	w.engine.Run(6 * time.Second)
+	if cand.Stats().CBFIgnored != 1 {
+		t.Fatalf("CBFIgnored = %d, want 1", cand.Stats().CBFIgnored)
+	}
+	if cand.Stats().CBFForwarded != 1 {
+		t.Fatalf("CBFForwarded = %d, want 1 (timer must still fire)", cand.Stats().CBFForwarded)
+	}
+}
+
+type maxDropRule struct{ maxDrop int }
+
+func (r maxDropRule) CancelsContention(firstRHL, dupRHL uint8) bool {
+	return int(firstRHL)-int(dupRHL) <= r.maxDrop
+}
+
+func TestStopSilencesRouter(t *testing.T) {
+	w := newWorld(t)
+	a := w.addNode(1, geo.Pt(0, 0), 500, nil)
+	w.addNode(2, geo.Pt(100, 0), 500, nil)
+	w.engine.Run(5 * time.Second)
+	sent := a.Stats().BeaconsSent
+	a.Stop()
+	w.engine.Run(30 * time.Second)
+	if got := a.Stats().BeaconsSent; got != sent {
+		t.Fatalf("stopped router kept beaconing: %d -> %d", sent, got)
+	}
+	if w.medium.Attached(radio.NodeID(1)) {
+		t.Fatal("stopped router still attached to the medium")
+	}
+	// Stop is idempotent.
+	a.Stop()
+}
+
+func TestForgedPacketRejected(t *testing.T) {
+	// An unenrolled station cannot inject packets: end-to-end check that
+	// the router consults the verifier.
+	w := newWorld(t)
+	victim := w.addNode(1, geo.Pt(0, 0), 500, nil)
+	rogueCA := security.NewSimCA(99) // attacker's own CA
+	rogue := rogueCA.Enroll(666, 0)
+	beacon := &Packet{
+		Basic:    BasicHeader{Version: 1, RHL: 1},
+		Type:     TypeBeacon,
+		SourcePV: PositionVector{Addr: 666, Timestamp: 1, Pos: geo.Pt(10, 0)},
+	}
+	beacon.Sign(rogue)
+	victim.Deliver(radio.Frame{From: 666, To: radio.BroadcastID, Payload: beacon.Marshal()})
+	if victim.LocT().Lookup(666, w.engine.Now()) != nil {
+		t.Fatal("forged beacon accepted")
+	}
+	if victim.Stats().AuthFailures != 1 {
+		t.Fatalf("AuthFailures = %d, want 1", victim.Stats().AuthFailures)
+	}
+}
+
+// frameTap is a promiscuous capture node (the test's stand-in for the
+// attacker's sniffer).
+type frameTap struct{ frames []radio.Frame }
+
+func (t *frameTap) Deliver(f radio.Frame)  { t.frames = append(t.frames, f) }
+func (t *frameTap) Overhear(f radio.Frame) { t.frames = append(t.frames, f) }
+
+// lastGBC decodes the most recent captured GeoBroadcast frame.
+func (t *frameTap) lastGBC(tt *testing.T) *Packet {
+	tt.Helper()
+	for i := len(t.frames) - 1; i >= 0; i-- {
+		p, err := Unmarshal(t.frames[i].Payload)
+		if err == nil && p.Type == TypeGeoBroadcast {
+			return p
+		}
+	}
+	tt.Fatal("no GBC frame captured")
+	return nil
+}

@@ -1,0 +1,230 @@
+package geonet
+
+import (
+	"testing"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/geo"
+)
+
+func TestSHBDeliversAndMarksNeighbor(t *testing.T) {
+	w := newWorld(t)
+	a := w.addNode(1, geo.Pt(0, 0), 500, nil)
+	b := w.addNode(2, geo.Pt(300, 0), 500, nil)
+	far := w.addNode(3, geo.Pt(900, 0), 500, nil)
+	w.engine.Run(time.Second)
+
+	key := a.SendSHB([]byte("awareness"))
+	w.engine.Run(2 * time.Second)
+
+	if !w.deliveredTo(key, 2) {
+		t.Fatal("SHB not delivered to the direct neighbor")
+	}
+	if w.deliveredTo(key, 3) {
+		t.Fatal("SHB crossed more than one hop")
+	}
+	e := b.LocT().Lookup(1, w.engine.Now())
+	if e == nil || !e.NeighborAt(w.engine.Now()) {
+		t.Fatal("SHB must establish neighbor status like a beacon")
+	}
+	_ = far
+}
+
+func TestTSBFloodsWithHopLimit(t *testing.T) {
+	// Chain of 6 nodes, 400 m apart. hops=3 covers exactly nodes 2..4
+	// (the source's own broadcast consumes one hop).
+	w := newWorld(t)
+	for i := 0; i < 6; i++ {
+		w.addNode(Address(i+1), geo.Pt(float64(i)*400, 0), 500, nil)
+	}
+	w.engine.Run(time.Second)
+
+	key := w.routers[1].SendTSB([]byte("topo"), 3)
+	w.engine.Run(2 * time.Second)
+
+	for _, want := range []struct {
+		addr Address
+		recv bool
+	}{{2, true}, {3, true}, {4, true}, {5, false}, {6, false}} {
+		if got := w.deliveredTo(key, want.addr); got != want.recv {
+			t.Errorf("node %d received=%v, want %v", want.addr, got, want.recv)
+		}
+	}
+	// Each intermediate node re-broadcasts at most once.
+	for a := Address(2); a <= 6; a++ {
+		if got := w.routers[a].Stats().TSBForwarded; got > 1 {
+			t.Errorf("node %d TSBForwarded = %d", a, got)
+		}
+	}
+}
+
+func TestTSBDefaultHopLimit(t *testing.T) {
+	w := newWorld(t)
+	a := w.addNode(1, geo.Pt(0, 0), 500, nil)
+	w.addNode(2, geo.Pt(300, 0), 500, nil)
+	w.engine.Run(time.Second)
+	key := a.SendTSB(nil, 0)
+	w.engine.Run(2 * time.Second)
+	if !w.deliveredTo(key, 2) {
+		t.Fatal("TSB with default hop limit not delivered")
+	}
+}
+
+func TestLocationServiceEndToEnd(t *testing.T) {
+	// The source has never heard of node 6 (four hops away): the LS
+	// request floods out, node 6 answers with its position, and the
+	// queued payload goes out as a normal GUC.
+	w := newWorld(t)
+	for i := 0; i < 6; i++ {
+		w.addNode(Address(i+1), geo.Pt(float64(i)*400, 0), 500, nil)
+	}
+	w.engine.Run(10 * time.Second) // beacons: each node knows 1-hop peers only
+
+	src := w.routers[1]
+	if src.LocT().Lookup(6, w.engine.Now()) != nil {
+		t.Fatal("sanity: node 6 must be unknown to node 1")
+	}
+	if known := src.SendGeoUnicastAuto(6, []byte("found you")); known {
+		t.Fatal("destination reported as already known")
+	}
+	if src.LSQueueLen() != 1 {
+		t.Fatalf("LSQueueLen = %d, want 1", src.LSQueueLen())
+	}
+	w.engine.Run(20 * time.Second)
+
+	if src.LSQueueLen() != 0 {
+		t.Fatal("payload still queued after the reply")
+	}
+	found := false
+	for _, addrs := range w.delivered {
+		for _, a := range addrs {
+			if a == 6 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("payload never reached node 6")
+	}
+	if src.Stats().LSRequests != 1 {
+		t.Fatalf("LSRequests = %d, want 1", src.Stats().LSRequests)
+	}
+	if w.routers[6].Stats().LSReplies != 1 {
+		t.Fatalf("node 6 LSReplies = %d, want 1", w.routers[6].Stats().LSReplies)
+	}
+}
+
+func TestLocationServiceKnownDestinationSkipsLookup(t *testing.T) {
+	w := newWorld(t)
+	a := w.addNode(1, geo.Pt(0, 0), 500, nil)
+	w.addNode(2, geo.Pt(300, 0), 500, nil)
+	w.engine.Run(10 * time.Second)
+	if known := a.SendGeoUnicastAuto(2, []byte("direct")); !known {
+		t.Fatal("1-hop neighbor reported unknown")
+	}
+	if a.Stats().LSRequests != 0 {
+		t.Fatal("needless LS request for a known destination")
+	}
+	w.engine.Run(11 * time.Second)
+	got := false
+	for k, addrs := range w.delivered {
+		if k.Src == 1 {
+			for _, ad := range addrs {
+				if ad == 2 {
+					got = true
+				}
+			}
+		}
+	}
+	if !got {
+		t.Fatal("payload not delivered to the known destination")
+	}
+}
+
+func TestLocationServiceTimeoutDropsQueue(t *testing.T) {
+	// Nobody answers (the destination does not exist): the queue drains
+	// at the packet lifetime.
+	w := newWorld(t)
+	a := w.addNode(1, geo.Pt(0, 0), 500, func(c *Config) {
+		c.PacketLifetime = 5 * time.Second
+	})
+	w.addNode(2, geo.Pt(300, 0), 500, nil)
+	w.engine.Run(2 * time.Second)
+	a.SendGeoUnicastAuto(99, []byte("ghost"))
+	if a.LSQueueLen() != 1 {
+		t.Fatal("payload not queued")
+	}
+	w.engine.Run(20 * time.Second)
+	if a.LSQueueLen() != 0 {
+		t.Fatal("expired LS queue entry not purged")
+	}
+	if a.Stats().GFExpired == 0 {
+		t.Fatal("expiry not recorded")
+	}
+}
+
+func TestSHBWireRoundTrip(t *testing.T) {
+	signer, verifier := testSigner(t, 42)
+	for _, typ := range []PacketType{TypeSHB, TypeTSB} {
+		p := &Packet{
+			Basic:    BasicHeader{Version: 1, RHL: 5, LifetimeMs: 3000},
+			Type:     typ,
+			SN:       9,
+			SourcePV: samplePV(),
+			Payload:  []byte("cam-ish payload"),
+		}
+		p.Sign(signer)
+		got, err := Unmarshal(p.Marshal())
+		if err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+		if got.Type != typ || string(got.Payload) != "cam-ish payload" {
+			t.Fatalf("%v: round trip mangled: %+v", typ, got)
+		}
+		if err := got.Verify(verifier, 0); err != nil {
+			t.Fatalf("%v: %v", typ, err)
+		}
+	}
+}
+
+func TestLSWireRoundTrip(t *testing.T) {
+	signer, verifier := testSigner(t, 42)
+	req := &Packet{
+		Basic:    BasicHeader{Version: 1, RHL: 10},
+		Type:     TypeLSRequest,
+		SN:       1,
+		SourcePV: samplePV(),
+		DestAddr: 777,
+	}
+	req.Sign(signer)
+	got, err := Unmarshal(req.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DestAddr != 777 || got.Type != TypeLSRequest {
+		t.Fatalf("LS request mangled: %+v", got)
+	}
+	if err := got.Verify(verifier, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := &Packet{
+		Basic:    BasicHeader{Version: 1, RHL: 10},
+		Type:     TypeLSReply,
+		SN:       2,
+		SourcePV: samplePV(),
+		DestAddr: 5,
+		DestPos:  geo.Pt(100, 7),
+	}
+	rep.Sign(signer)
+	got, err = Unmarshal(rep.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DestAddr != 5 || got.DestPos.DistanceTo(geo.Pt(100, 7)) > 0.01 {
+		t.Fatalf("LS reply mangled: %+v", got)
+	}
+	if err := got.Verify(verifier, 0); err != nil {
+		t.Fatal(err)
+	}
+}

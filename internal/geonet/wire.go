@@ -1,0 +1,422 @@
+// Package geonet implements the GeoNetworking network layer of ETSI
+// EN 302 636-4-1: beaconing, the location table (LocT), Greedy Forwarding
+// (GF) for inter-area transport, and Contention-Based Forwarding (CBF)
+// for intra-area flooding — together with the security envelope of
+// TS 102 731 / IEEE 1609.2.
+//
+// The wire format mirrors the standard's structure faithfully where it
+// matters for security analysis:
+//
+//   - The Basic Header carries the Remaining Hop Limit (RHL) and packet
+//     lifetime, and is OUTSIDE the signed region — forwarders must be able
+//     to decrement the RHL without re-signing. This is the integrity gap
+//     the intra-area blockage attack exploits.
+//   - The Common Header, sequence number, position vectors, destination
+//     area and payload are INSIDE the signed region, so the attacker can
+//     replay but not alter them.
+package geonet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/geo"
+	"github.com/vanetsec/georoute/internal/security"
+)
+
+// Address is a GeoNetworking address (GN_ADDR). In this simulator it is
+// numerically equal to the node's link-layer radio.NodeID and to its
+// security.StationID; a real deployment would map between them.
+type Address uint64
+
+// PacketType discriminates GeoNetworking PDU types (Common Header HT).
+type PacketType uint8
+
+// Supported PDU types.
+const (
+	TypeBeacon PacketType = iota + 1
+	TypeGeoUnicast
+	TypeGeoBroadcast
+	// TypeSHB is the single-hop broadcast (the transport of CAM-style
+	// awareness messages): a beacon with an upper-layer payload.
+	TypeSHB
+	// TypeTSB is the topologically-scoped broadcast: plain hop-limited
+	// flooding without a geographic destination area.
+	TypeTSB
+	// TypeLSRequest and TypeLSReply implement the location service
+	// (EN 302 636-4-1 §9.2.4): discovering the position of a destination
+	// that is not in the local location table.
+	TypeLSRequest
+	TypeLSReply
+)
+
+// String implements fmt.Stringer.
+func (t PacketType) String() string {
+	switch t {
+	case TypeBeacon:
+		return "BEACON"
+	case TypeGeoUnicast:
+		return "GUC"
+	case TypeGeoBroadcast:
+		return "GBC"
+	case TypeSHB:
+		return "SHB"
+	case TypeTSB:
+		return "TSB"
+	case TypeLSRequest:
+		return "LS-REQUEST"
+	case TypeLSReply:
+		return "LS-REPLY"
+	default:
+		return fmt.Sprintf("PacketType(%d)", uint8(t))
+	}
+}
+
+// PositionVector is the long position vector (PV) carried in
+// GeoNetworking headers: address, timestamp, position, speed, heading.
+type PositionVector struct {
+	Addr      Address
+	Timestamp time.Duration // simulated time the position was sampled
+	Pos       geo.Point
+	Speed     float64 // m/s
+	Heading   float64 // compass degrees [0, 360)
+}
+
+// PositionAt linearly extrapolates the advertised position to time t
+// using the advertised speed and heading, as the standard's location
+// table position update prescribes (EN 302 636-4-1 §8.2.2). Times before
+// the sample return the sampled position.
+func (pv PositionVector) PositionAt(t time.Duration) geo.Point {
+	dt := (t - pv.Timestamp).Seconds()
+	if dt <= 0 || pv.Speed == 0 {
+		return pv.Pos
+	}
+	return pv.Pos.Add(geo.HeadingVector(pv.Heading).Scale(pv.Speed * dt))
+}
+
+// BasicHeader is the unsigned outer header. Forwarders rewrite RHL (and
+// may rewrite LifetimeMs) in flight, which is exactly why it cannot be
+// covered by the source signature.
+type BasicHeader struct {
+	Version    uint8
+	RHL        uint8
+	LifetimeMs uint32
+}
+
+// Packet is a decoded GeoNetworking PDU.
+type Packet struct {
+	Basic BasicHeader
+	// Type selects which of the optional fields below are meaningful.
+	Type PacketType
+	// TrafficClass is carried but uninterpreted by the forwarding logic.
+	TrafficClass uint8
+	// SN is the source-assigned sequence number (not used by beacons).
+	SN uint16
+	// SourcePV identifies and locates the packet's originator.
+	SourcePV PositionVector
+	// DestAddr/DestPos direct a GeoUnicast packet.
+	DestAddr Address
+	DestPos  geo.Point
+	// Area is the GeoBroadcast destination area.
+	Area geo.Area
+	// Payload is the upper-layer payload.
+	Payload []byte
+
+	// Cert and Signature authenticate the protected region.
+	Cert      security.Certificate
+	Signature []byte
+}
+
+// Key identifies a packet end-to-end for duplicate detection.
+type Key struct {
+	Src Address
+	SN  uint16
+}
+
+// Key returns the duplicate-detection key.
+func (p *Packet) Key() Key { return Key{Src: p.SourcePV.Addr, SN: p.SN} }
+
+// Wire encoding ------------------------------------------------------------
+
+// Decode errors.
+var (
+	ErrTruncated   = errors.New("geonet: truncated packet")
+	ErrBadVersion  = errors.New("geonet: unsupported protocol version")
+	ErrBadType     = errors.New("geonet: unknown packet type")
+	ErrBadAreaKind = errors.New("geonet: unknown area kind")
+)
+
+// protocolVersion is the GeoNetworking version emitted in basic headers.
+const protocolVersion = 1
+
+// area wire kinds.
+const (
+	areaNone uint8 = iota
+	areaCircle
+	areaRect
+	areaEllipse
+)
+
+// maxPayload bounds payload decoding of corrupt frames.
+const maxPayload = 4096
+
+// cm converts meters to the int32 centimeter wire representation.
+func cm(m float64) int32 { return int32(math.Round(m * 100)) }
+
+// meters converts the wire representation back.
+func meters(v int32) float64 { return float64(v) / 100 }
+
+func appendPoint(dst []byte, p geo.Point) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(cm(p.X)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(cm(p.Y)))
+	return dst
+}
+
+func decodePoint(b []byte) (geo.Point, error) {
+	if len(b) < 8 {
+		return geo.Point{}, ErrTruncated
+	}
+	x := meters(int32(binary.BigEndian.Uint32(b)))
+	y := meters(int32(binary.BigEndian.Uint32(b[4:])))
+	return geo.Pt(x, y), nil
+}
+
+func appendPV(dst []byte, pv PositionVector) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, uint64(pv.Addr))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(pv.Timestamp))
+	dst = appendPoint(dst, pv.Pos)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(int16(math.Round(pv.Speed*100))))
+	dst = binary.BigEndian.AppendUint16(dst, uint16(math.Round(pv.Heading*10)))
+	return dst
+}
+
+// pvWireLen is the encoded size of a position vector.
+const pvWireLen = 8 + 8 + 8 + 2 + 2
+
+func decodePV(b []byte) (PositionVector, error) {
+	var pv PositionVector
+	if len(b) < pvWireLen {
+		return pv, ErrTruncated
+	}
+	pv.Addr = Address(binary.BigEndian.Uint64(b))
+	pv.Timestamp = time.Duration(binary.BigEndian.Uint64(b[8:]))
+	pos, err := decodePoint(b[16:])
+	if err != nil {
+		return pv, err
+	}
+	pv.Pos = pos
+	pv.Speed = float64(int16(binary.BigEndian.Uint16(b[24:]))) / 100
+	pv.Heading = float64(binary.BigEndian.Uint16(b[26:])) / 10
+	return pv, nil
+}
+
+func appendArea(dst []byte, a geo.Area) []byte {
+	switch area := a.(type) {
+	case nil:
+		return append(dst, areaNone)
+	case geo.Circle:
+		dst = append(dst, areaCircle)
+		dst = appendPoint(dst, area.C)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(cm(area.R)))
+		return dst
+	case geo.Rect:
+		dst = append(dst, areaRect)
+		dst = appendPoint(dst, area.C)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(cm(area.A)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(cm(area.B)))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(math.Round(area.AzimuthDeg*10)))
+		return dst
+	case geo.Ellipse:
+		dst = append(dst, areaEllipse)
+		dst = appendPoint(dst, area.C)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(cm(area.A)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(cm(area.B)))
+		dst = binary.BigEndian.AppendUint16(dst, uint16(math.Round(area.AzimuthDeg*10)))
+		return dst
+	default:
+		panic(fmt.Sprintf("geonet: cannot encode area type %T", a))
+	}
+}
+
+func decodeArea(b []byte) (geo.Area, int, error) {
+	if len(b) < 1 {
+		return nil, 0, ErrTruncated
+	}
+	kind := b[0]
+	switch kind {
+	case areaNone:
+		return nil, 1, nil
+	case areaCircle:
+		if len(b) < 1+8+4 {
+			return nil, 0, ErrTruncated
+		}
+		c, err := decodePoint(b[1:])
+		if err != nil {
+			return nil, 0, err
+		}
+		r := meters(int32(binary.BigEndian.Uint32(b[9:])))
+		return geo.NewCircle(c, r), 13, nil
+	case areaRect, areaEllipse:
+		if len(b) < 1+8+4+4+2 {
+			return nil, 0, ErrTruncated
+		}
+		c, err := decodePoint(b[1:])
+		if err != nil {
+			return nil, 0, err
+		}
+		av := meters(int32(binary.BigEndian.Uint32(b[9:])))
+		bv := meters(int32(binary.BigEndian.Uint32(b[13:])))
+		az := float64(binary.BigEndian.Uint16(b[17:])) / 10
+		if kind == areaRect {
+			return geo.NewRect(c, av, bv, az), 19, nil
+		}
+		return geo.NewEllipse(c, av, bv, az), 19, nil
+	default:
+		return nil, 0, ErrBadAreaKind
+	}
+}
+
+// protectedBytes serializes the signed region: everything except the
+// basic header and the envelope.
+func (p *Packet) protectedBytes() []byte {
+	buf := make([]byte, 0, 64+len(p.Payload))
+	buf = append(buf, uint8(p.Type), p.TrafficClass)
+	buf = binary.BigEndian.AppendUint16(buf, p.SN)
+	buf = appendPV(buf, p.SourcePV)
+	switch p.Type {
+	case TypeGeoUnicast, TypeLSReply:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(p.DestAddr))
+		buf = appendPoint(buf, p.DestPos)
+	case TypeGeoBroadcast:
+		buf = appendArea(buf, p.Area)
+	case TypeLSRequest:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(p.DestAddr))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.Payload)))
+	buf = append(buf, p.Payload...)
+	return buf
+}
+
+// Sign computes and attaches the security envelope using the source's
+// signer. Must be called after all protected fields are final.
+func (p *Packet) Sign(signer security.Signer) {
+	p.Cert = signer.Certificate()
+	p.Signature = signer.Sign(p.protectedBytes())
+}
+
+// Verify checks the envelope against the trust anchor. A nil error means
+// the protected region is authentic (it may still be a replay — that is
+// the point of the paper).
+func (p *Packet) Verify(v security.Verifier, now time.Duration) error {
+	return v.Verify(security.SignedMessage{
+		Cert:      p.Cert,
+		Protected: p.protectedBytes(),
+		Signature: p.Signature,
+	}, now)
+}
+
+// Marshal encodes the packet for transmission.
+func (p *Packet) Marshal() []byte {
+	buf := make([]byte, 0, 128+len(p.Payload))
+	// Basic header (unsigned).
+	buf = append(buf, p.Basic.Version, p.Basic.RHL)
+	buf = binary.BigEndian.AppendUint32(buf, p.Basic.LifetimeMs)
+	// Protected region.
+	buf = append(buf, p.protectedBytes()...)
+	// Envelope.
+	buf = security.AppendEnvelope(buf, p.Cert, p.Signature)
+	return buf
+}
+
+// Unmarshal decodes a packet from wire bytes.
+func Unmarshal(b []byte) (*Packet, error) {
+	p := &Packet{}
+	if len(b) < 6 {
+		return nil, ErrTruncated
+	}
+	p.Basic.Version = b[0]
+	if p.Basic.Version != protocolVersion {
+		return nil, ErrBadVersion
+	}
+	p.Basic.RHL = b[1]
+	p.Basic.LifetimeMs = binary.BigEndian.Uint32(b[2:])
+	b = b[6:]
+
+	if len(b) < 4 {
+		return nil, ErrTruncated
+	}
+	p.Type = PacketType(b[0])
+	p.TrafficClass = b[1]
+	p.SN = binary.BigEndian.Uint16(b[2:])
+	b = b[4:]
+
+	pv, err := decodePV(b)
+	if err != nil {
+		return nil, err
+	}
+	p.SourcePV = pv
+	b = b[pvWireLen:]
+
+	switch p.Type {
+	case TypeBeacon, TypeSHB, TypeTSB:
+	case TypeGeoUnicast, TypeLSReply:
+		if len(b) < 16 {
+			return nil, ErrTruncated
+		}
+		p.DestAddr = Address(binary.BigEndian.Uint64(b))
+		pos, err := decodePoint(b[8:])
+		if err != nil {
+			return nil, err
+		}
+		p.DestPos = pos
+		b = b[16:]
+	case TypeGeoBroadcast:
+		area, n, err := decodeArea(b)
+		if err != nil {
+			return nil, err
+		}
+		p.Area = area
+		b = b[n:]
+	case TypeLSRequest:
+		if len(b) < 8 {
+			return nil, ErrTruncated
+		}
+		p.DestAddr = Address(binary.BigEndian.Uint64(b))
+		b = b[8:]
+	default:
+		return nil, ErrBadType
+	}
+
+	if len(b) < 2 {
+		return nil, ErrTruncated
+	}
+	plen := int(binary.BigEndian.Uint16(b))
+	if plen > maxPayload {
+		return nil, fmt.Errorf("geonet: payload length %d exceeds maximum %d", plen, maxPayload)
+	}
+	if len(b) < 2+plen {
+		return nil, ErrTruncated
+	}
+	p.Payload = append([]byte(nil), b[2:2+plen]...)
+	b = b[2+plen:]
+
+	cert, sig, _, err := security.DecodeEnvelope(b)
+	if err != nil {
+		return nil, err
+	}
+	p.Cert = cert
+	p.Signature = sig
+	return p, nil
+}
+
+// Clone returns a deep copy suitable for independent mutation (the
+// attacker's modify-and-replay primitive).
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Payload = append([]byte(nil), p.Payload...)
+	q.Signature = append([]byte(nil), p.Signature...)
+	return &q
+}

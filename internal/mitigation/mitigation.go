@@ -1,0 +1,55 @@
+// Package mitigation implements the paper's two standard-compatible
+// defenses (§V) as policies plugged into the geonet router:
+//
+//   - Plausibility check (§V-A): at forwarding time, a GF candidate is
+//     only eligible if the distance between the forwarder's CURRENT
+//     position and the candidate's beacon-advertised position is below a
+//     threshold (the communication range). This rejects both replayed
+//     beacons from out-of-coverage vehicles and stale entries that have
+//     diverged, which is why it also improves attack-free reception.
+//
+//   - RHL drop check (§V-B): a second copy of a buffered CBF packet only
+//     cancels the contention timer when its RHL is at most MaxDrop below
+//     the first copy's RHL. A legitimate re-broadcast drops the RHL by
+//     exactly one; the blockage attack's replay drops it to 1, which the
+//     check flags as implausible.
+package mitigation
+
+import (
+	"github.com/vanetsec/georoute/internal/geo"
+	"github.com/vanetsec/georoute/internal/geonet"
+)
+
+// DefaultRHLMaxDrop is the paper's threshold of 3.
+const DefaultRHLMaxDrop = 3
+
+// Plausibility is the GF forward-time distance check.
+type Plausibility struct {
+	// Threshold is the maximum plausible distance in meters; the paper
+	// uses the technology's NLoS-median communication range.
+	Threshold float64
+}
+
+var _ geonet.ForwardFilter = Plausibility{}
+
+// Accept implements geonet.ForwardFilter. Exactly the paper's check: the
+// distance between the forwarder's current position and the candidate's
+// beacon-advertised position must be below the threshold.
+func (m Plausibility) Accept(self, pos geo.Point, _ *geonet.LocTEntry) bool {
+	return self.DistanceTo(pos) < m.Threshold
+}
+
+// RHLDropCheck is the CBF duplicate plausibility rule.
+type RHLDropCheck struct {
+	// MaxDrop is the largest acceptable RHL decrease between the first
+	// and the duplicate copy; the paper uses 3.
+	MaxDrop int
+}
+
+var _ geonet.DuplicateRule = RHLDropCheck{}
+
+// CancelsContention implements geonet.DuplicateRule.
+func (m RHLDropCheck) CancelsContention(firstRHL, dupRHL uint8) bool {
+	drop := int(firstRHL) - int(dupRHL)
+	return drop <= m.MaxDrop
+}

@@ -1,0 +1,94 @@
+package mitigation
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/vanetsec/georoute/internal/geo"
+	"github.com/vanetsec/georoute/internal/geonet"
+)
+
+func entryAt(x float64) *geonet.LocTEntry {
+	return &geonet.LocTEntry{PV: geonet.PositionVector{Pos: geo.Pt(x, 0)}}
+}
+
+// accept applies the filter using the entry's advertised position as the
+// estimate (a fresh beacon).
+func accept(m Plausibility, self geo.Point, e *geonet.LocTEntry) bool {
+	return m.Accept(self, e.PV.Pos, e)
+}
+
+func TestPlausibilityAccept(t *testing.T) {
+	m := Plausibility{Threshold: 486}
+	self := geo.Pt(0, 0)
+	tests := []struct {
+		name string
+		x    float64
+		want bool
+	}{
+		{"adjacent", 10, true},
+		{"near threshold", 485, true},
+		{"at threshold", 486, false},
+		{"replayed out-of-range beacon", 900, false},
+		{"far inter-area replay", 2000, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := accept(m, self, entryAt(tt.x)); got != tt.want {
+				t.Errorf("Accept(%v) = %v, want %v", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPlausibilityUsesCurrentSelfPosition(t *testing.T) {
+	// A stale entry 400 m away when recorded becomes implausible after
+	// the forwarder moved 200 m away from it.
+	m := Plausibility{Threshold: 486}
+	entry := entryAt(0)
+	if !accept(m, geo.Pt(400, 0), entry) {
+		t.Fatal("400 m must be plausible")
+	}
+	if accept(m, geo.Pt(600, 0), entry) {
+		t.Fatal("600 m (after divergence) must be implausible")
+	}
+}
+
+func TestRHLDropCheck(t *testing.T) {
+	m := RHLDropCheck{MaxDrop: DefaultRHLMaxDrop}
+	tests := []struct {
+		name    string
+		first   uint8
+		dup     uint8
+		cancels bool
+	}{
+		{"legitimate rebroadcast drop 1", 10, 9, true},
+		{"drop 3 boundary", 10, 7, true},
+		{"drop 4 rejected", 10, 6, false},
+		{"attack replay to RHL 1", 10, 1, false},
+		{"equal RHL (same-hop peer)", 10, 10, true},
+		{"dup higher than first", 5, 8, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.CancelsContention(tt.first, tt.dup); got != tt.cancels {
+				t.Errorf("CancelsContention(%d, %d) = %v, want %v", tt.first, tt.dup, got, tt.cancels)
+			}
+		})
+	}
+}
+
+func TestRHLDropCheckProperty(t *testing.T) {
+	// Property: a one-hop drop (the only drop legitimate CBF produces) is
+	// always accepted, whatever the absolute RHL.
+	m := RHLDropCheck{MaxDrop: DefaultRHLMaxDrop}
+	f := func(rhl uint8) bool {
+		if rhl == 0 {
+			return true
+		}
+		return m.CancelsContention(rhl, rhl-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

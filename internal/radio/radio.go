@@ -1,0 +1,433 @@
+// Package radio models the shared vehicular wireless channel.
+//
+// The model is a unit-disk broadcast medium: a frame transmitted by a node
+// with transmit range R is delivered, after a configurable access latency,
+// to every other registered node within R meters — unless an obstruction
+// blocks the line between transmitter and receiver. Communication ranges
+// for DSRC and C-V2X come from the Utah DOT field test the paper uses
+// (Table II).
+//
+// Unicast frames are addressed to a single link-layer destination; the
+// medium still "airs" them, so promiscuous listeners (the attacker's
+// sniffer) observe unicast traffic they are not addressed to, exactly as
+// over-the-air capture works in practice.
+package radio
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/geo"
+	"github.com/vanetsec/georoute/internal/sim"
+)
+
+// Technology identifies the access-layer technology in use.
+type Technology int
+
+// Supported access technologies.
+const (
+	DSRC Technology = iota + 1
+	CV2X
+)
+
+// String implements fmt.Stringer.
+func (t Technology) String() string {
+	switch t {
+	case DSRC:
+		return "DSRC"
+	case CV2X:
+		return "C-V2X"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// RangeClass selects which field-test percentile of the communication
+// range to use (paper Table II).
+type RangeClass int
+
+// Range classes from the Utah DOT field test.
+const (
+	LoSMedian RangeClass = iota + 1
+	NLoSMedian
+	NLoSWorst
+)
+
+// String implements fmt.Stringer.
+func (c RangeClass) String() string {
+	switch c {
+	case LoSMedian:
+		return "LoS-median"
+	case NLoSMedian:
+		return "NLoS-median"
+	case NLoSWorst:
+		return "NLoS-worst"
+	default:
+		return fmt.Sprintf("RangeClass(%d)", int(c))
+	}
+}
+
+// Range returns the communication range in meters for a technology and
+// range class (paper Table II).
+func Range(t Technology, c RangeClass) float64 {
+	switch t {
+	case DSRC:
+		switch c {
+		case LoSMedian:
+			return 1283
+		case NLoSMedian:
+			return 486
+		case NLoSWorst:
+			return 327
+		}
+	case CV2X:
+		switch c {
+		case LoSMedian:
+			return 1703
+		case NLoSMedian:
+			return 593
+		case NLoSWorst:
+			return 359
+		}
+	}
+	panic(fmt.Sprintf("radio: no range for %v/%v", t, c))
+}
+
+// NodeID identifies a node on the medium. IDs are assigned by the caller
+// and must be unique per medium.
+type NodeID uint64
+
+// BroadcastID is the link-layer broadcast destination.
+const BroadcastID NodeID = 0xFFFFFFFFFFFFFFFF
+
+// Frame is a link-layer frame in flight. Payload bytes are shared between
+// all receivers; receivers must not mutate them.
+type Frame struct {
+	From    NodeID
+	To      NodeID // BroadcastID for broadcast
+	Payload []byte
+	TxPos   geo.Point     // where the transmitter was when it sent
+	TxTime  time.Duration // when it was sent
+}
+
+// IsBroadcast reports whether the frame was link-layer broadcast.
+func (f Frame) IsBroadcast() bool { return f.To == BroadcastID }
+
+// Receiver consumes frames delivered to a node. Deliver is called for
+// frames addressed to the node or broadcast. Overhear is called on
+// promiscuous nodes for every frame within range regardless of the
+// link-layer destination (used by the attacker's sniffer).
+type Receiver interface {
+	Deliver(f Frame)
+}
+
+// Overhearer is implemented by receivers that also want promiscuous
+// copies of frames not addressed to them.
+type Overhearer interface {
+	Overhear(f Frame)
+}
+
+// Obstruction blocks radio propagation between point pairs. Used for the
+// blind-curve scenario where terrain blocks the two road ends.
+type Obstruction interface {
+	Blocks(a, b geo.Point) bool
+}
+
+// CircleObstruction blocks any link whose straight path passes through a
+// disc (e.g. the hill inside a curve).
+type CircleObstruction struct {
+	Center geo.Point
+	Radius float64
+}
+
+var _ Obstruction = CircleObstruction{}
+
+// Blocks implements Obstruction.
+func (o CircleObstruction) Blocks(a, b geo.Point) bool {
+	// If either endpoint is inside the disc, the link is considered blocked
+	// too; nodes are never placed inside obstructions in our scenarios.
+	seg := geo.Segment{P1: a, P2: b}
+	return seg.DistanceToPoint(o.Center) < o.Radius
+}
+
+// Stats aggregates medium-level counters for one run.
+type Stats struct {
+	Transmitted uint64 // frames sent
+	Delivered   uint64 // (frame, receiver) deliveries
+	Overheard   uint64 // promiscuous deliveries
+	UnicastLost uint64 // unicast frames whose target was out of range
+}
+
+// Antenna is one node's attachment to the medium.
+type Antenna struct {
+	id     NodeID
+	rangeM float64
+	// rxRange extends reception sensitivity beyond the transmitter's
+	// disk: a frame is received when the distance is within EITHER the
+	// transmitter's range or the receiver's rxRange. Zero means the
+	// transmitter's disk alone decides (the default for vehicles). The
+	// attacker's pole-mounted high-gain sniffer sets this to its attack
+	// range, which is how it captures beacons from farther away than
+	// vehicles can hear each other (§III-B "the attacker-to-vehicle
+	// communication range can be easily larger").
+	rxRange float64
+	pos     func() geo.Point
+	recv    Receiver
+	medium  *Medium
+	// promiscuous nodes get Overhear callbacks for foreign frames.
+	promiscuous bool
+	removed     bool
+}
+
+// ID reports the antenna's node ID.
+func (a *Antenna) ID() NodeID { return a.id }
+
+// Range reports the transmit/receive range in meters.
+func (a *Antenna) Range() float64 { return a.rangeM }
+
+// SetRange adjusts transmit power, e.g. the attacker tuning its coverage.
+func (a *Antenna) SetRange(m float64) { a.rangeM = m }
+
+// SetRxRange sets the extended receiver sensitivity range (see rxRange).
+func (a *Antenna) SetRxRange(m float64) { a.rxRange = m }
+
+// Position reports the antenna's current position.
+func (a *Antenna) Position() geo.Point { return a.pos() }
+
+// Medium is the shared broadcast channel. One medium per simulation run.
+type Medium struct {
+	engine       *sim.Engine
+	latency      time.Duration
+	nodes        map[NodeID]*Antenna
+	order        []*Antenna // deterministic iteration order
+	obstructions []Obstruction
+	edgeFactor   float64
+	seed         uint64
+	stats        Stats
+}
+
+// Config parameterizes a Medium.
+type Config struct {
+	// Latency is the access + transmission delay between the send call and
+	// delivery at receivers. Defaults to 500µs, roughly the airtime of a
+	// 300-byte frame at 6 Mb/s including channel access.
+	Latency time.Duration
+	// Obstructions optionally block specific links.
+	Obstructions []Obstruction
+	// EdgeFactor softens the reception boundary: within range R the frame
+	// is always received; between R and EdgeFactor·R reception probability
+	// decays linearly to zero. The ranges in Table II are MEDIANS from a
+	// field test, so a hard cutoff at exactly R is unphysical; the soft
+	// edge makes a hop to a neighbor a few meters past R mostly succeed
+	// while entries hundreds of meters out (the attack's poisoned ones)
+	// still never deliver. The decision is a deterministic hash of
+	// (seed, transmitter, receiver, send time), so paired attack-free and
+	// attacked runs see identical edge outcomes for identical frames.
+	// Zero selects DefaultEdgeFactor (the hard unit disk); values above 1
+	// enable the soft edge (used by the edge-loss ablation).
+	EdgeFactor float64
+	// Seed salts the edge-decision hash.
+	Seed uint64
+}
+
+// DefaultEdgeFactor is the reception model used when Config.EdgeFactor is
+// zero: the hard unit disk, matching the paper's simulator. SoftEdgeFactor
+// is the recommended setting for the probabilistic-edge ablation.
+const (
+	DefaultEdgeFactor = 1.0
+	SoftEdgeFactor    = 1.15
+)
+
+// DefaultLatency is the frame delivery delay used when Config.Latency is 0.
+const DefaultLatency = 500 * time.Microsecond
+
+// NewMedium constructs a medium bound to the simulation engine.
+func NewMedium(engine *sim.Engine, cfg Config) *Medium {
+	if cfg.Latency == 0 {
+		cfg.Latency = DefaultLatency
+	}
+	if cfg.EdgeFactor == 0 {
+		cfg.EdgeFactor = DefaultEdgeFactor
+	}
+	if cfg.EdgeFactor < 1 {
+		panic(fmt.Sprintf("radio: edge factor %v below 1", cfg.EdgeFactor))
+	}
+	return &Medium{
+		engine:       engine,
+		latency:      cfg.Latency,
+		nodes:        make(map[NodeID]*Antenna),
+		obstructions: cfg.Obstructions,
+		edgeFactor:   cfg.EdgeFactor,
+		seed:         cfg.Seed,
+	}
+}
+
+// edgeCoherence is the time bucket over which a marginal link keeps one
+// up/down state. Shadowing is time-correlated: a station whose beacon was
+// heard at 520 m will also deliver a data packet moments later. One
+// bucket roughly spans a beacon round.
+const edgeCoherence = 4 * time.Second
+
+// receives decides whether a receiver at distance d hears a transmission
+// whose nominal reception limit is `limit`, applying the soft edge. The
+// link state is drawn per (from, to, time bucket), so outcomes are
+// coherent within a bucket and identical between paired attack-free and
+// attacked runs.
+func (m *Medium) receives(d, limit float64, from, to NodeID, at time.Duration) bool {
+	if d <= limit {
+		return true
+	}
+	edge := limit * m.edgeFactor
+	if d >= edge {
+		return false
+	}
+	p := (edge - d) / (edge - limit)
+	return m.edgeHash(from, to, uint64(at/edgeCoherence)) < p
+}
+
+// edgeHash maps a (from, to, bucket) triple to a deterministic uniform
+// value in [0, 1).
+func (m *Medium) edgeHash(from, to NodeID, bucket uint64) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(m.seed)
+	put(uint64(from))
+	put(uint64(to))
+	put(bucket)
+	return float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+}
+
+// Stats returns a copy of the medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Latency reports the configured delivery delay.
+func (m *Medium) Latency() time.Duration { return m.latency }
+
+// Attach registers a node. pos is sampled at delivery time, so moving
+// nodes are handled naturally. promiscuous nodes receive Overhear
+// callbacks for frames not addressed to them.
+func (m *Medium) Attach(id NodeID, rangeM float64, pos func() geo.Point, recv Receiver, promiscuous bool) *Antenna {
+	if _, dup := m.nodes[id]; dup {
+		panic(fmt.Sprintf("radio: duplicate node id %d", id))
+	}
+	a := &Antenna{id: id, rangeM: rangeM, pos: pos, recv: recv, medium: m, promiscuous: promiscuous}
+	m.nodes[id] = a
+	m.order = append(m.order, a)
+	return a
+}
+
+// Detach removes a node (e.g. a vehicle leaving the road). In-flight
+// frames scheduled for it are dropped at delivery time.
+func (m *Medium) Detach(id NodeID) {
+	a, ok := m.nodes[id]
+	if !ok {
+		return
+	}
+	a.removed = true
+	delete(m.nodes, id)
+	for i, n := range m.order {
+		if n == a {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Attached reports whether a node is currently registered.
+func (m *Medium) Attached(id NodeID) bool {
+	_, ok := m.nodes[id]
+	return ok
+}
+
+// NodeCount reports the number of attached nodes.
+func (m *Medium) NodeCount() int { return len(m.order) }
+
+// Send transmits a frame from the given antenna. The receiver set is
+// computed at send time from current positions (propagation is effectively
+// instantaneous relative to vehicle motion); delivery callbacks run after
+// the medium latency.
+func (m *Medium) Send(from *Antenna, to NodeID, payload []byte) Frame {
+	if from.removed {
+		return Frame{}
+	}
+	txPos := from.Position()
+	f := Frame{
+		From:    from.id,
+		To:      to,
+		Payload: payload,
+		TxPos:   txPos,
+		TxTime:  m.engine.Now(),
+	}
+	m.stats.Transmitted++
+
+	targetReached := false
+	for _, rx := range m.order {
+		if rx.id == from.id {
+			continue
+		}
+		rxPos := rx.Position()
+		limit := math.Max(from.rangeM, rx.rxRange)
+		if !m.receives(txPos.DistanceTo(rxPos), limit, from.id, rx.id, f.TxTime) {
+			continue
+		}
+		if m.blocked(txPos, rxPos) {
+			continue
+		}
+		addressed := to == BroadcastID || to == rx.id
+		if addressed && to == rx.id {
+			targetReached = true
+		}
+		rx := rx
+		m.engine.Schedule(m.latency, "radio.deliver", func() {
+			if rx.removed {
+				return
+			}
+			if addressed {
+				m.stats.Delivered++
+				rx.recv.Deliver(f)
+			} else if rx.promiscuous {
+				if o, ok := rx.recv.(Overhearer); ok {
+					m.stats.Overheard++
+					o.Overhear(f)
+				}
+			}
+		})
+	}
+	if to != BroadcastID && !targetReached {
+		// The unicast target was out of range or obstructed: the frame is
+		// silently lost. This is the loss the inter-area interception
+		// attack manufactures.
+		m.stats.UnicastLost++
+	}
+	return f
+}
+
+func (m *Medium) blocked(a, b geo.Point) bool {
+	for _, o := range m.obstructions {
+		if o.Blocks(a, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// InRange reports whether two attached nodes are currently within the
+// transmitter's range and unobstructed. Used by tests and metrics.
+func (m *Medium) InRange(from, to NodeID) bool {
+	a, okA := m.nodes[from]
+	b, okB := m.nodes[to]
+	if !okA || !okB {
+		return false
+	}
+	pa, pb := a.Position(), b.Position()
+	d := pa.DistanceTo(pb)
+	return (d <= a.rangeM || d <= b.rxRange) && !m.blocked(pa, pb)
+}

@@ -1,0 +1,131 @@
+package showcase
+
+import (
+	"testing"
+	"time"
+)
+
+// hazardTestConfig shortens Figure 12 runs for tests.
+func hazardTestConfig(c HazardCase, attacked bool) HazardConfig {
+	d := 200 * time.Second // the GF carry path needs most of the run
+	if c == CaseCBF {
+		d = 120 * time.Second
+	}
+	return HazardConfig{
+		Case:     c,
+		Attacked: attacked,
+		Seed:     2,
+		Duration: d,
+	}
+}
+
+func TestHazardCaseGFAttackFree(t *testing.T) {
+	res := RunHazard(hazardTestConfig(CaseGF, false))
+	if res.GateClosedAt == 0 {
+		t.Fatal("GF notification never reached the entrance in the attack-free run")
+	}
+	t.Logf("af GF: gate closed at %v, final count %d", res.GateClosedAt, last(res.VehicleCount))
+	// After the gate closes the eastbound inflow stops; the count must
+	// plateau rather than keep growing (Fig 12a green).
+	plateau := res.VehicleCount[len(res.VehicleCount)-30]
+	final := last(res.VehicleCount)
+	if final > plateau+15 {
+		t.Fatalf("count kept growing after gate closed: %d -> %d", plateau, final)
+	}
+}
+
+func TestHazardCaseGFAttacked(t *testing.T) {
+	af := RunHazard(hazardTestConfig(CaseGF, false))
+	atk := RunHazard(hazardTestConfig(CaseGF, true))
+	if atk.GateClosedAt != 0 && af.GateClosedAt != 0 && atk.GateClosedAt <= af.GateClosedAt {
+		t.Fatalf("attack did not delay the notification: af %v, atk %v", af.GateClosedAt, atk.GateClosedAt)
+	}
+	// The paper's jam signature (Fig 12a): more vehicles pile up on the
+	// attacked road.
+	if last(atk.VehicleCount) <= last(af.VehicleCount) {
+		t.Fatalf("attacked jam (%d) not worse than attack-free (%d)",
+			last(atk.VehicleCount), last(af.VehicleCount))
+	}
+	t.Logf("GF case: af gate@%v count=%d | atk gate@%v count=%d",
+		af.GateClosedAt, last(af.VehicleCount), atk.GateClosedAt, last(atk.VehicleCount))
+}
+
+func TestHazardCaseCBF(t *testing.T) {
+	af := RunHazard(hazardTestConfig(CaseCBF, false))
+	atk := RunHazard(hazardTestConfig(CaseCBF, true))
+	if af.GateClosedAt == 0 {
+		t.Fatal("CBF notification never reached the entrance in the attack-free run")
+	}
+	// Fig 12b: in the attack-free run the entrance learns within seconds.
+	if af.GateClosedAt > 15*time.Second {
+		t.Fatalf("af CBF notification took %v, want seconds", af.GateClosedAt)
+	}
+	if atk.GateClosedAt != 0 {
+		t.Fatalf("attacked CBF notification still arrived at %v", atk.GateClosedAt)
+	}
+	if last(atk.VehicleCount) <= last(af.VehicleCount) {
+		t.Fatalf("attacked jam (%d) not worse than attack-free (%d)",
+			last(atk.VehicleCount), last(af.VehicleCount))
+	}
+	t.Logf("CBF case: af gate@%v count=%d | atk count=%d",
+		af.GateClosedAt, last(af.VehicleCount), last(atk.VehicleCount))
+}
+
+func last(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}
+
+func TestCurveAttackFreeNoCollision(t *testing.T) {
+	res := RunCurve(CurveConfig{Seed: 1})
+	if res.WarningSentAt == 0 {
+		t.Fatal("V1 never sent the warning")
+	}
+	if res.V2WarnedAt == 0 {
+		t.Fatal("V2 never received the relayed warning")
+	}
+	if delay := res.V2WarnedAt - res.WarningSentAt; delay > 200*time.Millisecond {
+		t.Fatalf("relay took %v, want within one CBF contention timeout", delay)
+	}
+	if !res.RSURelayed {
+		t.Fatal("R1 did not relay the warning")
+	}
+	if res.Collision {
+		t.Fatalf("collision in the attack-free run (min gap %.1f m)", res.MinGap)
+	}
+	t.Logf("af: warning %v -> V2 %v, min gap %.1f m", res.WarningSentAt, res.V2WarnedAt, res.MinGap)
+}
+
+func TestCurveAttackCausesCollision(t *testing.T) {
+	res := RunCurve(CurveConfig{Seed: 1, Attacked: true})
+	if res.V2WarnedAt != 0 {
+		t.Fatalf("V2 received the warning at %v despite the Spot-2 replay", res.V2WarnedAt)
+	}
+	if res.RSURelayed {
+		t.Fatal("R1 re-broadcast despite the attacker's duplicate")
+	}
+	if !res.Collision {
+		t.Fatalf("no collision in the attacked run (min gap %.1f m)", res.MinGap)
+	}
+	t.Logf("atk: collision at %v, min gap %.1f m", res.CollisionAt, res.MinGap)
+}
+
+func TestCurveSpeedProfilesDiffer(t *testing.T) {
+	af := RunCurve(CurveConfig{Seed: 1})
+	atk := RunCurve(CurveConfig{Seed: 1, Attacked: true})
+	if len(af.Times) == 0 || len(af.V1Speed) != len(af.Times) || len(af.V2Speed) != len(af.Times) {
+		t.Fatal("speed series malformed")
+	}
+	// The profiles must diverge shortly after the warning moment: the
+	// warned V2 brakes, the unwarned one keeps its pace.
+	i := int((af.WarningSentAt.Seconds() + 3) * 10)
+	if i >= len(af.V2Speed) || i >= len(atk.V2Speed) {
+		t.Fatal("series too short to compare")
+	}
+	if af.V2Speed[i] >= atk.V2Speed[i] {
+		t.Fatalf("warned V2 (%.1f m/s) should be slower than unwarned (%.1f m/s) at t=%.1fs",
+			af.V2Speed[i], atk.V2Speed[i], float64(i)/10)
+	}
+}

@@ -1,0 +1,202 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine keeps a binary heap of timestamped events and executes them in
+// (time, insertion) order, so two runs with the same seed and the same
+// scenario produce identical traces. Simulated time is a time.Duration
+// measured from the start of the run, giving nanosecond resolution — far
+// finer than the millisecond-scale CBF contention timers the GeoNetworking
+// experiments depend on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it (e.g. a CBF contention timer stopped by a
+// duplicate packet).
+type Event struct {
+	at     time.Duration
+	seq    uint64
+	name   string
+	fn     func()
+	index  int // heap index, -1 once removed
+	cancel bool
+}
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.cancel }
+
+// At reports the simulated time the event fires (or would have fired).
+func (e *Event) At() time.Duration { return e.at }
+
+// Name reports the label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Cancel prevents a pending event from running. Canceling an event that
+// already ran or was already canceled is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// not usable; construct with NewEngine.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	// Executed counts events that have run, for introspection and tests.
+	executed uint64
+}
+
+// NewEngine constructs an engine with a deterministic RNG derived from
+// seed. Engines are not safe for concurrent use; run one engine per
+// goroutine and aggregate results afterwards.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
+	}
+}
+
+// Now reports the current simulated time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand exposes the engine's deterministic random source. All stochastic
+// choices in a scenario (beacon jitter, packet source selection, ...) must
+// draw from this source to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Executed reports how many events have run so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are queued (including canceled events
+// that have not yet been popped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay. A negative delay is an error in the caller;
+// it panics to surface scheduling bugs immediately.
+func (e *Engine) Schedule(delay time.Duration, name string, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for event %q", delay, name))
+	}
+	return e.ScheduleAt(e.now+delay, name, fn)
+}
+
+// ScheduleAt runs fn at absolute simulated time t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Engine) ScheduleAt(t time.Duration, name string, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, t, e.now))
+	}
+	ev := &Event{at: t, seq: e.seq, name: name, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Every schedules fn at t0, t0+period, t0+2·period, ... until the engine
+// stops or the returned ticker is canceled.
+func (e *Engine) Every(t0, period time.Duration, name string, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %v for ticker %q", period, name))
+	}
+	t := &Ticker{engine: e, period: period, name: name, fn: fn}
+	t.ev = e.Schedule(t0, name, t.tick)
+	return t
+}
+
+// Ticker is a repeating event created by Every.
+type Ticker struct {
+	engine  *Engine
+	period  time.Duration
+	name    string
+	fn      func()
+	ev      *Event
+	stopped bool
+}
+
+func (t *Ticker) tick() {
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped && !t.engine.stopped {
+		t.ev = t.engine.Schedule(t.period, t.name, t.tick)
+	}
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}
+
+// Run executes events until the queue drains or simulated time reaches
+// until (events at exactly until still run). It returns the number of
+// events executed by this call.
+func (e *Engine) Run(until time.Duration) uint64 {
+	start := e.executed
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		ev.fn()
+		e.executed++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return e.executed - start
+}
+
+// Stop halts Run after the current event completes. Subsequent Run calls
+// are no-ops until the engine is discarded; engines are single-use.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (e *Engine) Stopped() bool { return e.stopped }
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}

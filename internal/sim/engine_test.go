@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	e.Schedule(3*time.Second, "c", func() { order = append(order, "c") })
+	e.Schedule(1*time.Second, "a", func() { order = append(order, "a") })
+	e.Schedule(2*time.Second, "b", func() { order = append(order, "b") })
+	e.Run(10 * time.Second)
+	want := []string{"a", "b", "c"}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(time.Second, "tie", func() { order = append(order, i) })
+	}
+	e.Run(time.Second)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("same-time events not FIFO at %d: got %d", i, got)
+		}
+	}
+}
+
+func TestNowAdvancesDuringEvents(t *testing.T) {
+	e := NewEngine(1)
+	var at time.Duration
+	e.Schedule(1500*time.Millisecond, "probe", func() { at = e.Now() })
+	e.Run(2 * time.Second)
+	if at != 1500*time.Millisecond {
+		t.Fatalf("Now inside event = %v, want 1.5s", at)
+	}
+	if e.Now() != 2*time.Second {
+		t.Fatalf("Now after Run = %v, want 2s", e.Now())
+	}
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(1*time.Second, "in", func() { ran++ })
+	e.Schedule(5*time.Second, "out", func() { ran++ })
+	n := e.Run(2 * time.Second)
+	if n != 1 || ran != 1 {
+		t.Fatalf("Run executed %d events (ran=%d), want 1", n, ran)
+	}
+	// Resume picks up the remaining event.
+	n = e.Run(10 * time.Second)
+	if n != 1 || ran != 2 {
+		t.Fatalf("second Run executed %d events (ran=%d), want 1 more", n, ran)
+	}
+}
+
+func TestEventAtBoundaryRuns(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(2*time.Second, "edge", func() { ran = true })
+	e.Run(2 * time.Second)
+	if !ran {
+		t.Fatal("event at exactly `until` must run")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	ev := e.Schedule(time.Second, "x", func() { ran = true })
+	ev.Cancel()
+	e.Run(2 * time.Second)
+	if ran {
+		t.Fatal("canceled event ran")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() must report true")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	// A CBF-style pattern: an earlier event cancels a pending timer.
+	e := NewEngine(1)
+	fired := false
+	timer := e.Schedule(100*time.Millisecond, "timer", func() { fired = true })
+	e.Schedule(10*time.Millisecond, "duplicate", func() { timer.Cancel() })
+	e.Run(time.Second)
+	if fired {
+		t.Fatal("timer fired despite cancellation")
+	}
+}
+
+func TestScheduleInsideEvent(t *testing.T) {
+	e := NewEngine(1)
+	var times []time.Duration
+	e.Schedule(time.Second, "outer", func() {
+		e.Schedule(500*time.Millisecond, "inner", func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run(5 * time.Second)
+	if len(times) != 1 || times[0] != 1500*time.Millisecond {
+		t.Fatalf("nested schedule fired at %v, want [1.5s]", times)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	NewEngine(1).Schedule(-time.Second, "bad", func() {})
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Second, "advance", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.ScheduleAt(500*time.Millisecond, "past", func() {})
+	})
+	e.Run(2 * time.Second)
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []time.Duration
+	e.Every(time.Second, 2*time.Second, "tick", func() {
+		ticks = append(ticks, e.Now())
+	})
+	e.Run(8 * time.Second)
+	want := []time.Duration{1 * time.Second, 3 * time.Second, 5 * time.Second, 7 * time.Second}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tk *Ticker
+	tk = e.Every(0, time.Second, "tick", func() {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run(10 * time.Second)
+	if count != 3 {
+		t.Fatalf("ticker ran %d times after Stop at 3", count)
+	}
+}
+
+func TestTickerStopBeforeFirstTick(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	tk := e.Every(time.Second, time.Second, "tick", func() { count++ })
+	tk.Stop()
+	e.Run(5 * time.Second)
+	if count != 0 {
+		t.Fatalf("stopped ticker ran %d times", count)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(time.Second, "first", func() {
+		ran++
+		e.Stop()
+	})
+	e.Schedule(2*time.Second, "second", func() { ran++ })
+	e.Run(10 * time.Second)
+	if ran != 1 {
+		t.Fatalf("ran = %d after Stop, want 1", ran)
+	}
+	if !e.Stopped() {
+		t.Fatal("Stopped() must be true")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	trace := func(seed uint64) []time.Duration {
+		e := NewEngine(seed)
+		var out []time.Duration
+		var step func()
+		step = func() {
+			out = append(out, e.Now())
+			if len(out) < 50 {
+				jitter := time.Duration(e.Rand().Int64N(int64(time.Second)))
+				e.Schedule(jitter, "step", step)
+			}
+		}
+		e.Schedule(0, "start", step)
+		e.Run(time.Hour)
+		return out
+	}
+	a, b := trace(42), trace(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := trace(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical stochastic traces")
+	}
+}
+
+func TestExecutedAndPending(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 10; i++ {
+		e.Schedule(time.Duration(i)*time.Second, "ev", func() {})
+	}
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", e.Pending())
+	}
+	e.Run(4 * time.Second)
+	if e.Executed() != 5 { // events at 0..4s inclusive
+		t.Fatalf("Executed = %d, want 5", e.Executed())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", e.Pending())
+	}
+}
+
+func TestHeapOrderingProperty(t *testing.T) {
+	// Property: any multiset of delays executes in non-decreasing time order.
+	f := func(delays []uint16) bool {
+		e := NewEngine(7)
+		var seen []time.Duration
+		for _, d := range delays {
+			e.Schedule(time.Duration(d)*time.Millisecond, "p", func() {
+				seen = append(seen, e.Now())
+			})
+		}
+		e.Run(time.Hour)
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(delays)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

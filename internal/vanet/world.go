@@ -1,0 +1,216 @@
+// Package vanet assembles complete simulated worlds: a discrete-event
+// engine, a shared radio medium, a simulated PKI, an IDM traffic network,
+// and a GeoNetworking router on every vehicle. The experiment harness,
+// the showcase scenarios and the runnable examples all build on it.
+package vanet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/geo"
+	"github.com/vanetsec/georoute/internal/geonet"
+	"github.com/vanetsec/georoute/internal/radio"
+	"github.com/vanetsec/georoute/internal/security"
+	"github.com/vanetsec/georoute/internal/sim"
+	"github.com/vanetsec/georoute/internal/traffic"
+)
+
+// VehicleAddrBase offsets traffic vehicle IDs into the GeoNetworking
+// address space, leaving low addresses for static infrastructure.
+const VehicleAddrBase geonet.Address = 1000
+
+// Well-known static node addresses used by the experiments.
+const (
+	WestDestAddr geonet.Address = 1 // 20 m west of the road start
+	EastDestAddr geonet.Address = 2 // 20 m east of the road end
+	RSUAddrBase  geonet.Address = 100
+)
+
+// Config parameterizes a World.
+type Config struct {
+	Seed uint64
+
+	// Tech and RangeClass select the vehicle communication range
+	// (Table II); the paper's default is the NLoS median.
+	Tech       radio.Technology
+	RangeClass radio.RangeClass
+
+	Road          traffic.RoadConfig
+	SpawnGap      float64
+	Prepopulate   bool
+	SpawnDisabled bool
+
+	// Router knobs propagated to every vehicle stack.
+	LocTTTL          time.Duration
+	NeighborLifetime time.Duration
+	MaxHopLimit      uint8
+	PacketLifetime   time.Duration
+	ForwardFilter    geonet.ForwardFilter
+	DuplicateRule    geonet.DuplicateRule
+
+	// Obstructions are passed to the radio medium.
+	Obstructions []radio.Obstruction
+	// Latency overrides the medium's delivery delay (0 = default).
+	Latency time.Duration
+	// EdgeFactor overrides the medium's soft reception edge (0 = default,
+	// 1.0 = hard unit disk).
+	EdgeFactor float64
+
+	// OnDeliver observes every upper-layer delivery in the world,
+	// identified by the receiving node's address.
+	OnDeliver func(addr geonet.Address, p *geonet.Packet)
+}
+
+// World is one assembled simulation run.
+type World struct {
+	Engine  *sim.Engine
+	Medium  *radio.Medium
+	CA      *security.SimCA
+	Traffic *traffic.Network
+
+	cfg     Config
+	routers map[geonet.Address]*geonet.Router
+}
+
+// New assembles a world. Vehicles present after prepopulation already
+// have running router stacks.
+func New(cfg Config) *World {
+	if cfg.Tech == 0 {
+		cfg.Tech = radio.DSRC
+	}
+	if cfg.RangeClass == 0 {
+		cfg.RangeClass = radio.NLoSMedian
+	}
+	engine := sim.NewEngine(cfg.Seed)
+	w := &World{
+		Engine:  engine,
+		Medium:  radio.NewMedium(engine, radio.Config{Latency: cfg.Latency, Obstructions: cfg.Obstructions, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed}),
+		CA:      security.NewSimCA(cfg.Seed),
+		cfg:     cfg,
+		routers: make(map[geonet.Address]*geonet.Router),
+	}
+	w.Traffic = traffic.NewNetwork(engine, traffic.NetworkConfig{
+		Road:          traffic.NewRoad(cfg.Road),
+		SpawnGap:      cfg.SpawnGap,
+		Prepopulate:   cfg.Prepopulate,
+		SpawnDisabled: cfg.SpawnDisabled,
+		OnEnter:       func(v *traffic.Vehicle) { w.attachVehicle(v) },
+		OnExit:        func(v *traffic.Vehicle) { w.detachVehicle(v) },
+	})
+	return w
+}
+
+// VehicleRange reports the configured vehicle communication range.
+func (w *World) VehicleRange() float64 {
+	return radio.Range(w.cfg.Tech, w.cfg.RangeClass)
+}
+
+// Tech reports the configured access technology.
+func (w *World) Tech() radio.Technology { return w.cfg.Tech }
+
+// AddrOf maps a traffic vehicle to its GeoNetworking address.
+func AddrOf(v *traffic.Vehicle) geonet.Address {
+	return VehicleAddrBase + geonet.Address(v.ID)
+}
+
+func (w *World) attachVehicle(v *traffic.Vehicle) {
+	addr := AddrOf(v)
+	r := geonet.NewRouter(geonet.Config{
+		Addr:             addr,
+		Engine:           w.Engine,
+		Medium:           w.Medium,
+		Signer:           w.CA.Enroll(security.StationID(addr), 0),
+		Verifier:         w.CA,
+		Position:         v.Position,
+		Velocity:         v.Velocity,
+		Range:            w.VehicleRange(),
+		LocTTTL:          w.cfg.LocTTTL,
+		NeighborLifetime: w.cfg.NeighborLifetime,
+		MaxHopLimit:      w.cfg.MaxHopLimit,
+		PacketLifetime:   w.cfg.PacketLifetime,
+		ForwardFilter:    w.cfg.ForwardFilter,
+		DuplicateRule:    w.cfg.DuplicateRule,
+		OnDeliver: func(p *geonet.Packet) {
+			if w.cfg.OnDeliver != nil {
+				w.cfg.OnDeliver(addr, p)
+			}
+		},
+	})
+	r.Start()
+	w.routers[addr] = r
+}
+
+func (w *World) detachVehicle(v *traffic.Vehicle) {
+	addr := AddrOf(v)
+	if r, ok := w.routers[addr]; ok {
+		r.Stop()
+		delete(w.routers, addr)
+	}
+}
+
+// AddStatic deploys a stationary node (destination or RSU) with a running
+// router and returns it. rangeM of 0 uses the vehicle range.
+func (w *World) AddStatic(addr geonet.Address, pos geo.Point, rangeM float64) *geonet.Router {
+	if _, dup := w.routers[addr]; dup {
+		panic(fmt.Sprintf("vanet: duplicate static address %d", addr))
+	}
+	if rangeM == 0 {
+		rangeM = w.VehicleRange()
+	}
+	r := geonet.NewRouter(geonet.Config{
+		Addr:             addr,
+		Engine:           w.Engine,
+		Medium:           w.Medium,
+		Signer:           w.CA.Enroll(security.StationID(addr), 0),
+		Verifier:         w.CA,
+		Position:         func() geo.Point { return pos },
+		Range:            rangeM,
+		LocTTTL:          w.cfg.LocTTTL,
+		NeighborLifetime: w.cfg.NeighborLifetime,
+		MaxHopLimit:      w.cfg.MaxHopLimit,
+		PacketLifetime:   w.cfg.PacketLifetime,
+		ForwardFilter:    w.cfg.ForwardFilter,
+		DuplicateRule:    w.cfg.DuplicateRule,
+		OnDeliver: func(p *geonet.Packet) {
+			if w.cfg.OnDeliver != nil {
+				w.cfg.OnDeliver(addr, p)
+			}
+		},
+	})
+	r.Start()
+	w.routers[addr] = r
+	return r
+}
+
+// Router returns the live router for addr, or nil (e.g. the vehicle
+// already left the road).
+func (w *World) Router(addr geonet.Address) *geonet.Router { return w.routers[addr] }
+
+// RouterOf returns the live router of a traffic vehicle, or nil.
+func (w *World) RouterOf(v *traffic.Vehicle) *geonet.Router { return w.routers[AddrOf(v)] }
+
+// Vehicles returns the on-road vehicles sorted by ID — the deterministic
+// sampling population for workload generators.
+func (w *World) Vehicles() []*traffic.Vehicle {
+	vs := make([]*traffic.Vehicle, 0, w.Traffic.Count())
+	for _, v := range w.Traffic.Vehicles() {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].ID < vs[j].ID })
+	return vs
+}
+
+// VehicleAddrs returns the addresses of all on-road vehicles, sorted.
+func (w *World) VehicleAddrs() []geonet.Address {
+	vs := w.Vehicles()
+	out := make([]geonet.Address, len(vs))
+	for i, v := range vs {
+		out[i] = AddrOf(v)
+	}
+	return out
+}
+
+// Run advances the world to the given simulated time.
+func (w *World) Run(until time.Duration) { w.Engine.Run(until) }
