@@ -78,6 +78,17 @@ type Stats struct {
 	DecodeErrors    uint64
 }
 
+// Add accumulates another run's counters into s. Mergers (the parallel
+// experiment runner) must use this instead of copying fields one by one,
+// so counters added later cannot be silently dropped from merged results.
+func (s *Stats) Add(o Stats) {
+	s.BeaconsCaptured += o.BeaconsCaptured
+	s.BeaconsReplayed += o.BeaconsReplayed
+	s.PacketsCaptured += o.PacketsCaptured
+	s.PacketsReplayed += o.PacketsReplayed
+	s.DecodeErrors += o.DecodeErrors
+}
+
 // Config parameterizes an Attacker.
 type Config struct {
 	Engine *sim.Engine

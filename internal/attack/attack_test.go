@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"reflect"
 	"testing"
 	"time"
 
@@ -371,5 +372,20 @@ func TestForgedBeaconWithStolenEnrollmentWorks(t *testing.T) {
 	}
 	if e.PV.Pos.DistanceTo(geo.Pt(5000, 0)) > 1 {
 		t.Fatalf("claimed position not stored: %v", e.PV.Pos)
+	}
+}
+
+func TestStatsAddCoversEveryField(t *testing.T) {
+	// Stats.Add is how the experiment runner merges parallel runs; a
+	// counter it misses would silently vanish from merged results. Fill
+	// every field via reflection and require Add to carry all of them.
+	var zero, filled Stats
+	v := reflect.ValueOf(&filled).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(uint64(i + 1))
+	}
+	zero.Add(filled)
+	if zero != filled {
+		t.Fatalf("Stats.Add dropped counters: got %+v, want %+v", zero, filled)
 	}
 }

@@ -218,10 +218,7 @@ func RunArm(s Scenario, runs int) RunResult {
 	for _, r := range out[1:] {
 		merged.Series.Merge(r.Series)
 		merged.PacketsSent += r.PacketsSent
-		merged.AttackerStats.BeaconsCaptured += r.AttackerStats.BeaconsCaptured
-		merged.AttackerStats.BeaconsReplayed += r.AttackerStats.BeaconsReplayed
-		merged.AttackerStats.PacketsCaptured += r.AttackerStats.PacketsCaptured
-		merged.AttackerStats.PacketsReplayed += r.AttackerStats.PacketsReplayed
+		merged.AttackerStats.Add(r.AttackerStats)
 	}
 	return merged
 }

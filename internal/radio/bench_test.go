@@ -1,0 +1,111 @@
+package radio
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/vanetsec/georoute/internal/geo"
+	"github.com/vanetsec/georoute/internal/sim"
+)
+
+// The medium benchmarks model the paper's densest deployments: vehicles
+// 30 m apart along the road axis with the DSRC NLoS-median range
+// (486 m), so each transmission reaches ~32 receivers regardless of how
+// many nodes share the medium. A linear receiver scan costs O(N) per
+// frame; the spatial index should keep the cost proportional to the
+// in-range population only.
+
+type nopReceiver struct{}
+
+func (nopReceiver) Deliver(Frame)  {}
+func (nopReceiver) Overhear(Frame) {}
+
+const (
+	benchSpacing = 30.0
+	benchRange   = 486.0 // DSRC NLoS median, the vehicles' default
+)
+
+// benchMedium lays out n nodes along the road axis and returns the
+// middle node as the transmitter.
+func benchMedium(b *testing.B, n int, promiscuousEvery int) (*sim.Engine, *Medium, *Antenna) {
+	b.Helper()
+	e := sim.NewEngine(1)
+	m := NewMedium(e, Config{})
+	var tx *Antenna
+	for i := 0; i < n; i++ {
+		p := geo.Pt(float64(i)*benchSpacing, 0)
+		promisc := promiscuousEvery > 0 && i%promiscuousEvery == 0
+		a := m.Attach(NodeID(i+1), benchRange, func() geo.Point { return p }, nopReceiver{}, promisc)
+		if i == n/2 {
+			tx = a
+		}
+	}
+	return e, m, tx
+}
+
+// drive sends one frame per iteration and drains its delivery, advancing
+// simulated time past the medium latency each round.
+func drive(b *testing.B, e *sim.Engine, m *Medium, tx *Antenna, to NodeID) {
+	b.Helper()
+	payload := []byte("benchmark-frame")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Send(tx, to, payload)
+		e.Run(e.Now() + 2*DefaultLatency)
+	}
+}
+
+func BenchmarkMediumBroadcast(b *testing.B) {
+	for _, n := range []int{100, 500, 2000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e, m, tx := benchMedium(b, n, 0)
+			drive(b, e, m, tx, BroadcastID)
+		})
+	}
+}
+
+func BenchmarkMediumUnicast(b *testing.B) {
+	for _, n := range []int{100, 500, 2000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e, m, tx := benchMedium(b, n, 0)
+			// The next node up the road, always in range.
+			drive(b, e, m, tx, tx.ID()+1)
+		})
+	}
+}
+
+func BenchmarkMediumPromiscuous(b *testing.B) {
+	// Unicast with every 10th node promiscuous: the sniffer-heavy case
+	// where most deliveries are Overhear callbacks.
+	for _, n := range []int{100, 500, 2000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			e, m, tx := benchMedium(b, n, 10)
+			drive(b, e, m, tx, tx.ID()+1)
+		})
+	}
+}
+
+func BenchmarkMediumChurn(b *testing.B) {
+	// Attach/detach cost under the index: one join and one leave per
+	// frame, as the spawner and road exits do at steady state.
+	e := sim.NewEngine(1)
+	m := NewMedium(e, Config{})
+	const n = 500
+	for i := 0; i < n; i++ {
+		p := geo.Pt(float64(i)*benchSpacing, 0)
+		m.Attach(NodeID(i+1), benchRange, func() geo.Point { return p }, nopReceiver{}, false)
+	}
+	tx := m.nodes[NodeID(n/2)]
+	payload := []byte("churn")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := NodeID(n + i + 1)
+		p := geo.Pt(float64(i%n)*benchSpacing, 5)
+		m.Attach(id, benchRange, func() geo.Point { return p }, nopReceiver{}, false)
+		m.Send(tx, BroadcastID, payload)
+		m.Detach(id)
+		e.Run(e.Now() + 2*DefaultLatency)
+	}
+}

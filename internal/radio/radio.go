@@ -179,6 +179,16 @@ type Antenna struct {
 	// promiscuous nodes get Overhear callbacks for foreign frames.
 	promiscuous bool
 	removed     bool
+
+	// Spatial-index state. seq is the attach sequence number; candidate
+	// receivers are sorted by it so delivery order matches the historical
+	// attach-order scan exactly. gridX/cell track the bucket the antenna
+	// currently occupies; extended antennas (rxRange > 0) live outside the
+	// grid on Medium.extended and are considered for every frame.
+	seq      uint64
+	gridX    float64
+	cell     int64
+	extended bool
 }
 
 // ID reports the antenna's node ID.
@@ -188,15 +198,38 @@ func (a *Antenna) ID() NodeID { return a.id }
 func (a *Antenna) Range() float64 { return a.rangeM }
 
 // SetRange adjusts transmit power, e.g. the attacker tuning its coverage.
-func (a *Antenna) SetRange(m float64) { a.rangeM = m }
+func (a *Antenna) SetRange(m float64) {
+	a.rangeM = m
+	if !a.removed {
+		a.medium.ensureCellSize(m)
+	}
+}
 
 // SetRxRange sets the extended receiver sensitivity range (see rxRange).
-func (a *Antenna) SetRxRange(m float64) { a.rxRange = m }
+func (a *Antenna) SetRxRange(m float64) {
+	was := a.rxRange > 0
+	a.rxRange = m
+	if !a.removed {
+		a.medium.reclassify(a, was)
+	}
+}
 
 // Position reports the antenna's current position.
 func (a *Antenna) Position() geo.Point { return a.pos() }
 
 // Medium is the shared broadcast channel. One medium per simulation run.
+//
+// Receiver lookup is served by a uniform grid bucketed along the road
+// (X) axis: each antenna occupies the cell floor(x/cellSize), and a
+// transmission only inspects the cells overlapping its reception reach
+// plus one guard cell on each side. The cell size grows to the largest
+// attached transmit range, so a query touches O(1) cells. Antennas with
+// an extended receive range (the attacker's high-gain sniffer) can hear
+// frames from arbitrarily far outside the transmitter's disk, so they
+// bypass the grid and sit on the small `extended` list that every Send
+// checks. The grid is maintained incrementally on Attach/Detach and by
+// SyncPositions, which movers (the traffic integrator, scripted
+// scenario actors) call after updating positions.
 type Medium struct {
 	engine       *sim.Engine
 	latency      time.Duration
@@ -206,6 +239,23 @@ type Medium struct {
 	edgeFactor   float64
 	seed         uint64
 	stats        Stats
+
+	// Spatial index over antenna positions.
+	cellSize  float64
+	cells     map[int64][]*Antenna
+	extended  []*Antenna // rxRange > 0: always candidate receivers
+	attachSeq uint64
+
+	// pool recycles receiver slices between frames. The engine is
+	// single-threaded, so no synchronization is needed; a slice is grabbed
+	// at Send and returned when its delivery event has run.
+	pool [][]delivery
+}
+
+// delivery is one receiver's slot in a frame's batched delivery walk.
+type delivery struct {
+	rx        *Antenna
+	addressed bool
 }
 
 // Config parameterizes a Medium.
@@ -230,6 +280,12 @@ type Config struct {
 	EdgeFactor float64
 	// Seed salts the edge-decision hash.
 	Seed uint64
+	// CellSize overrides the spatial-index cell width in meters. Zero
+	// selects the adaptive default: the cell size tracks the largest
+	// attached transmit range, so a receiver query touches a constant
+	// number of cells. The setting only affects performance, never which
+	// receivers hear a frame.
+	CellSize float64
 }
 
 // DefaultEdgeFactor is the reception model used when Config.EdgeFactor is
@@ -254,6 +310,9 @@ func NewMedium(engine *sim.Engine, cfg Config) *Medium {
 	if cfg.EdgeFactor < 1 {
 		panic(fmt.Sprintf("radio: edge factor %v below 1", cfg.EdgeFactor))
 	}
+	if cfg.CellSize < 0 {
+		panic(fmt.Sprintf("radio: negative cell size %v", cfg.CellSize))
+	}
 	return &Medium{
 		engine:       engine,
 		latency:      cfg.Latency,
@@ -261,6 +320,8 @@ func NewMedium(engine *sim.Engine, cfg Config) *Medium {
 		obstructions: cfg.Obstructions,
 		edgeFactor:   cfg.EdgeFactor,
 		seed:         cfg.Seed,
+		cellSize:     cfg.CellSize,
+		cells:        make(map[int64][]*Antenna),
 	}
 }
 
@@ -311,16 +372,21 @@ func (m *Medium) Stats() Stats { return m.stats }
 // Latency reports the configured delivery delay.
 func (m *Medium) Latency() time.Duration { return m.latency }
 
-// Attach registers a node. pos is sampled at delivery time, so moving
-// nodes are handled naturally. promiscuous nodes receive Overhear
-// callbacks for frames not addressed to them.
+// Attach registers a node. The receiver set of a frame is computed from
+// current positions at send time; movers must call SyncPositions after
+// updating positions so the spatial index stays exact. promiscuous nodes
+// receive Overhear callbacks for frames not addressed to them.
 func (m *Medium) Attach(id NodeID, rangeM float64, pos func() geo.Point, recv Receiver, promiscuous bool) *Antenna {
 	if _, dup := m.nodes[id]; dup {
 		panic(fmt.Sprintf("radio: duplicate node id %d", id))
 	}
 	a := &Antenna{id: id, rangeM: rangeM, pos: pos, recv: recv, medium: m, promiscuous: promiscuous}
+	a.seq = m.attachSeq
+	m.attachSeq++
 	m.nodes[id] = a
 	m.order = append(m.order, a)
+	m.ensureCellSize(rangeM)
+	m.insertIndex(a)
 	return a
 }
 
@@ -339,6 +405,120 @@ func (m *Medium) Detach(id NodeID) {
 			break
 		}
 	}
+	m.removeIndex(a)
+}
+
+// minCellSize keeps the grid usable when only zero-range (receive-only)
+// antennas are attached.
+const minCellSize = 1.0
+
+// ensureCellSize grows the grid cell width to at least r and rebuckets
+// every gridded antenna. Growth happens at most a handful of times per
+// run (when a longer-range node first attaches), so the O(N) rebucket is
+// negligible.
+func (m *Medium) ensureCellSize(r float64) {
+	if r < minCellSize {
+		r = minCellSize
+	}
+	if r <= m.cellSize {
+		return
+	}
+	m.cellSize = r
+	clear(m.cells)
+	for _, a := range m.order {
+		if a.extended {
+			continue
+		}
+		a.cell = m.cellOf(a.gridX)
+		m.cells[a.cell] = append(m.cells[a.cell], a)
+	}
+}
+
+func (m *Medium) cellOf(x float64) int64 {
+	return int64(math.Floor(x / m.cellSize))
+}
+
+// insertIndex places a newly attached antenna into the grid (or the
+// extended list when it has a widened receive range).
+func (m *Medium) insertIndex(a *Antenna) {
+	if a.rxRange > 0 {
+		a.extended = true
+		m.extended = append(m.extended, a)
+		return
+	}
+	a.extended = false
+	a.gridX = a.pos().X
+	a.cell = m.cellOf(a.gridX)
+	m.cells[a.cell] = append(m.cells[a.cell], a)
+}
+
+func (m *Medium) removeIndex(a *Antenna) {
+	if a.extended {
+		for i, o := range m.extended {
+			if o == a {
+				m.extended = append(m.extended[:i], m.extended[i+1:]...)
+				break
+			}
+		}
+		return
+	}
+	m.removeFromCell(a)
+}
+
+// removeFromCell drops a from its bucket. Within-cell order is free to
+// change (swap-remove): Send restores the deterministic attach order by
+// sorting candidates on Antenna.seq.
+func (m *Medium) removeFromCell(a *Antenna) {
+	bucket := m.cells[a.cell]
+	for i, o := range bucket {
+		if o == a {
+			last := len(bucket) - 1
+			bucket[i] = bucket[last]
+			bucket[last] = nil
+			bucket = bucket[:last]
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(m.cells, a.cell)
+	} else {
+		m.cells[a.cell] = bucket
+	}
+}
+
+// reclassify moves an antenna between the grid and the extended list
+// when SetRxRange crosses zero.
+func (m *Medium) reclassify(a *Antenna, wasExtended bool) {
+	isExtended := a.rxRange > 0
+	if isExtended == wasExtended {
+		return
+	}
+	m.removeIndex(a)
+	m.insertIndex(a)
+}
+
+// SyncPositions re-buckets every antenna whose position changed since it
+// was last indexed. Movers (the traffic integrator, scripted actors)
+// call this after each position update; the cost is one position sample
+// per antenna, far cheaper than the per-frame scans it replaces. Static
+// nodes and join/leave churn need no syncing — Attach and Detach keep
+// the index exact on their own.
+func (m *Medium) SyncPositions() {
+	for _, a := range m.order {
+		if a.extended {
+			continue
+		}
+		x := a.pos().X
+		if x == a.gridX {
+			continue
+		}
+		a.gridX = x
+		if c := m.cellOf(x); c != a.cell {
+			m.removeFromCell(a)
+			a.cell = c
+			m.cells[c] = append(m.cells[c], a)
+		}
+	}
 }
 
 // Attached reports whether a node is currently registered.
@@ -353,7 +533,9 @@ func (m *Medium) NodeCount() int { return len(m.order) }
 // Send transmits a frame from the given antenna. The receiver set is
 // computed at send time from current positions (propagation is effectively
 // instantaneous relative to vehicle motion); delivery callbacks run after
-// the medium latency.
+// the medium latency, batched into a single engine event that walks the
+// receivers in attach order — exactly the order the historical
+// one-event-per-receiver implementation produced.
 func (m *Medium) Send(from *Antenna, to NodeID, payload []byte) Frame {
 	if from.removed {
 		return Frame{}
@@ -368,46 +550,128 @@ func (m *Medium) Send(from *Antenna, to NodeID, payload []byte) Frame {
 	}
 	m.stats.Transmitted++
 
-	targetReached := false
-	for _, rx := range m.order {
-		if rx.id == from.id {
-			continue
-		}
-		rxPos := rx.Position()
-		limit := math.Max(from.rangeM, rx.rxRange)
-		if !m.receives(txPos.DistanceTo(rxPos), limit, from.id, rx.id, f.TxTime) {
-			continue
-		}
-		if m.blocked(txPos, rxPos) {
-			continue
-		}
-		addressed := to == BroadcastID || to == rx.id
-		if addressed && to == rx.id {
-			targetReached = true
-		}
-		rx := rx
-		m.engine.Schedule(m.latency, "radio.deliver", func() {
-			if rx.removed {
-				return
-			}
-			if addressed {
-				m.stats.Delivered++
-				rx.recv.Deliver(f)
-			} else if rx.promiscuous {
-				if o, ok := rx.recv.(Overhearer); ok {
-					m.stats.Overheard++
-					o.Overhear(f)
-				}
-			}
-		})
-	}
+	targets, targetReached := m.collect(from, to, txPos, f.TxTime)
 	if to != BroadcastID && !targetReached {
 		// The unicast target was out of range or obstructed: the frame is
 		// silently lost. This is the loss the inter-area interception
 		// attack manufactures.
 		m.stats.UnicastLost++
 	}
+	if len(targets) == 0 {
+		m.releaseDelivery(targets)
+		return f
+	}
+	m.engine.ScheduleTransient(m.latency, "radio.deliver", func() {
+		m.deliver(f, targets, targetReached)
+	})
 	return f
+}
+
+// collect gathers the frame's receiver set: grid cells within the
+// transmitter's reach (plus one guard cell per side, tolerating
+// sub-cell position drift between syncs) and every extended-range
+// antenna. Candidates pass exactly the distance/edge/obstruction checks
+// the linear scan applied, then are sorted into attach order.
+func (m *Medium) collect(from *Antenna, to NodeID, txPos geo.Point, at time.Duration) ([]delivery, bool) {
+	targets := m.grabDelivery()
+	targetReached := false
+
+	consider := func(rx *Antenna) {
+		if rx.id == from.id {
+			return
+		}
+		rxPos := rx.Position()
+		limit := math.Max(from.rangeM, rx.rxRange)
+		if !m.receives(txPos.DistanceTo(rxPos), limit, from.id, rx.id, at) {
+			return
+		}
+		if m.blocked(txPos, rxPos) {
+			return
+		}
+		addressed := to == BroadcastID || to == rx.id
+		if addressed && to == rx.id {
+			targetReached = true
+		}
+		targets = append(targets, delivery{rx: rx, addressed: addressed})
+	}
+
+	if m.cellSize > 0 {
+		reach := from.rangeM * m.edgeFactor
+		lo := m.cellOf(txPos.X-reach) - 1
+		hi := m.cellOf(txPos.X+reach) + 1
+		for c := lo; c <= hi; c++ {
+			for _, rx := range m.cells[c] {
+				consider(rx)
+			}
+		}
+	}
+	for _, rx := range m.extended {
+		consider(rx)
+	}
+
+	// Insertion sort on the attach sequence: candidate sets are small
+	// (the in-range population) and nearly ordered, and this allocates
+	// nothing, unlike sort.Slice.
+	for i := 1; i < len(targets); i++ {
+		d := targets[i]
+		j := i - 1
+		for j >= 0 && targets[j].rx.seq > d.rx.seq {
+			targets[j+1] = targets[j]
+			j--
+		}
+		targets[j+1] = d
+	}
+	return targets, targetReached
+}
+
+// deliver is the batched delivery event for one frame. Per-receiver
+// removed checks run here, at delivery time, so churn between Send and
+// delivery behaves exactly as the per-receiver events did.
+func (m *Medium) deliver(f Frame, targets []delivery, targetReached bool) {
+	unicastDelivered := false
+	for _, d := range targets {
+		if d.rx.removed {
+			continue
+		}
+		if d.addressed {
+			m.stats.Delivered++
+			d.rx.recv.Deliver(f)
+			if f.To == d.rx.id {
+				unicastDelivered = true
+			}
+		} else if d.rx.promiscuous {
+			if o, ok := d.rx.recv.(Overhearer); ok {
+				m.stats.Overheard++
+				o.Overhear(f)
+			}
+		}
+	}
+	if !f.IsBroadcast() && targetReached && !unicastDelivered {
+		// The target was in range at send time but detached while the
+		// frame was in flight: it never received the frame, so the frame
+		// counts as lost, not delivered.
+		m.stats.UnicastLost++
+	}
+	m.releaseDelivery(targets)
+}
+
+// grabDelivery takes a receiver slice from the free list. The pool is
+// sync-free: the engine is single-threaded and a slice is only returned
+// after its delivery event has run.
+func (m *Medium) grabDelivery() []delivery {
+	if n := len(m.pool); n > 0 {
+		s := m.pool[n-1]
+		m.pool = m.pool[:n-1]
+		return s
+	}
+	return make([]delivery, 0, 16)
+}
+
+func (m *Medium) releaseDelivery(s []delivery) {
+	for i := range s {
+		s[i] = delivery{} // drop antenna references for the GC
+	}
+	m.pool = append(m.pool, s[:0])
 }
 
 func (m *Medium) blocked(a, b geo.Point) bool {

@@ -168,6 +168,9 @@ func RunCurve(cfg CurveConfig) CurveResult {
 	engine.Every(50*time.Millisecond, 50*time.Millisecond, "curve.step", func() {
 		v1.step(dt)
 		v2.step(dt)
+		// The actors move outside any traffic.Network, so re-sync the
+		// medium's spatial index by hand before anything transmits.
+		medium.SyncPositions()
 
 		// V1 spots its hazard 100 m before the apex: brake harder, warn,
 		// and swerve into the opposite lane between s=-60 and s=+10.
@@ -214,6 +217,9 @@ func RunCurve(cfg CurveConfig) CurveResult {
 			v1.a, v1.vMin = -6, 0
 			v2.a, v2.vMin = -6, 0
 		}
+		// Lane changes above also moved positions: sync again so frames
+		// sent before the next tick see the updated geometry.
+		medium.SyncPositions()
 	})
 
 	// Speed sampling at 10 Hz.

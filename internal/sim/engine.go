@@ -25,6 +25,9 @@ type Event struct {
 	fn     func()
 	index  int // heap index, -1 once removed
 	cancel bool
+	// pooled events were created by ScheduleTransient: no handle exists,
+	// so the engine recycles the object once the event has fired.
+	pooled bool
 }
 
 // Canceled reports whether Cancel was called on the event.
@@ -50,6 +53,9 @@ type Engine struct {
 	stopped bool
 	// Executed counts events that have run, for introspection and tests.
 	executed uint64
+	// free recycles Event objects for ScheduleTransient. Sync-free: the
+	// engine is single-threaded.
+	free []*Event
 }
 
 // NewEngine constructs an engine with a deterministic RNG derived from
@@ -95,6 +101,32 @@ func (e *Engine) ScheduleAt(t time.Duration, name string, fn func()) *Event {
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
+}
+
+// ScheduleTransient runs fn after delay, like Schedule, but returns no
+// handle: transient events cannot be canceled or inspected, which lets
+// the engine recycle the event object after it fires instead of
+// allocating a fresh one per call. Use it for high-volume
+// fire-and-forget events (e.g. per-frame radio deliveries).
+func (e *Engine) ScheduleTransient(delay time.Duration, name string, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for event %q", delay, name))
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = Event{}
+	} else {
+		ev = &Event{}
+	}
+	ev.at = e.now + delay
+	ev.seq = e.seq
+	ev.name = name
+	ev.fn = fn
+	ev.pooled = true
+	e.seq++
+	heap.Push(&e.queue, ev)
 }
 
 // Every schedules fn at t0, t0+period, t0+2·period, ... until the engine
@@ -153,6 +185,10 @@ func (e *Engine) Run(until time.Duration) uint64 {
 		e.now = ev.at
 		ev.fn()
 		e.executed++
+		if ev.pooled {
+			ev.fn = nil // release the closure before pooling
+			e.free = append(e.free, ev)
+		}
 	}
 	if e.now < until {
 		e.now = until

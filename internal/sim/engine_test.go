@@ -278,3 +278,61 @@ func TestHeapOrderingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestScheduleTransientOrderingAndRecycling(t *testing.T) {
+	// Transient events interleave with regular events in (time, schedule)
+	// order, and the engine recycles their objects without disturbing it.
+	e := NewEngine(1)
+	var got []int
+	for round := 0; round < 3; round++ {
+		round := round
+		e.Schedule(time.Duration(round)*time.Millisecond, "regular", func() {
+			got = append(got, round*10)
+		})
+		e.ScheduleTransient(time.Duration(round)*time.Millisecond, "transient", func() {
+			got = append(got, round*10+1)
+		})
+		e.ScheduleTransient(time.Duration(round)*time.Millisecond, "transient", func() {
+			got = append(got, round*10+2)
+		})
+	}
+	e.Run(time.Second)
+	want := []int{0, 1, 2, 10, 11, 12, 20, 21, 22}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if len(e.free) == 0 {
+		t.Fatal("transient events were not recycled")
+	}
+}
+
+func TestScheduleTransientNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative transient delay")
+		}
+	}()
+	NewEngine(1).ScheduleTransient(-time.Second, "bad", func() {})
+}
+
+func TestScheduleTransientReusesPooledEvents(t *testing.T) {
+	// Sequential transient rounds should settle into reusing one pooled
+	// object instead of allocating per call.
+	e := NewEngine(1)
+	ran := 0
+	for i := 0; i < 100; i++ {
+		e.ScheduleTransient(time.Millisecond, "t", func() { ran++ })
+		e.Run(e.Now() + 2*time.Millisecond)
+	}
+	if ran != 100 {
+		t.Fatalf("ran %d transient events, want 100", ran)
+	}
+	if len(e.free) != 1 {
+		t.Fatalf("free list holds %d events, want 1 steady-state object", len(e.free))
+	}
+}

@@ -176,6 +176,10 @@ type Network struct {
 	// (e.g. to attach/detach network stacks). Optional.
 	OnEnter func(*Vehicle)
 	OnExit  func(*Vehicle)
+	// OnStep is invoked after each integration step, once every vehicle
+	// position has been updated (e.g. to re-sync the radio medium's
+	// spatial index). Optional.
+	OnStep func()
 }
 
 // NetworkConfig parameterizes NewNetwork.
@@ -196,6 +200,8 @@ type NetworkConfig struct {
 	// set, so the hooks observe the initial vehicles too.
 	OnEnter func(*Vehicle)
 	OnExit  func(*Vehicle)
+	// OnStep is invoked after each integration step (see Network.OnStep).
+	OnStep func()
 }
 
 // NewNetwork builds the traffic network and schedules its update ticker
@@ -229,6 +235,7 @@ func NewNetwork(engine *sim.Engine, cfg NetworkConfig) *Network {
 		gateClosed: make(map[Direction]bool),
 		OnEnter:    cfg.OnEnter,
 		OnExit:     cfg.OnExit,
+		OnStep:     cfg.OnStep,
 	}
 	if cfg.Prepopulate {
 		n.prepopulate()
@@ -388,6 +395,9 @@ func (n *Network) integrate(dt float64) {
 		for _, v := range exited {
 			n.remove(v)
 		}
+	}
+	if n.OnStep != nil {
+		n.OnStep()
 	}
 }
 

@@ -98,6 +98,9 @@ func New(cfg Config) *World {
 		SpawnDisabled: cfg.SpawnDisabled,
 		OnEnter:       func(v *traffic.Vehicle) { w.attachVehicle(v) },
 		OnExit:        func(v *traffic.Vehicle) { w.detachVehicle(v) },
+		// Vehicles only move inside the traffic integrator; re-syncing the
+		// medium's spatial index right after keeps receiver lookups exact.
+		OnStep: w.Medium.SyncPositions,
 	})
 	return w
 }
