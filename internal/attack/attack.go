@@ -185,12 +185,15 @@ func (a *Attacker) Deliver(f radio.Frame) { a.sniff(f) }
 // Overhear implements radio.Overhearer (foreign unicast frames).
 func (a *Attacker) Overhear(f radio.Frame) { a.sniff(f) }
 
-// sniff is the capture path shared by both attacks.
+// sniff is the capture path shared by both attacks. It rides the same
+// decode-once frame cache as the legitimate receivers: by the time the
+// sniffer sees a broadcast, some router in range has usually decoded it
+// already, so capture costs a cache lookup.
 func (a *Attacker) sniff(f radio.Frame) {
 	if a.stopped || a.cfg.Mode == None {
 		return
 	}
-	p, err := geonet.Unmarshal(f.Payload)
+	p, err := geonet.DecodeFrame(f)
 	if err != nil {
 		a.stats.DecodeErrors++
 		return
@@ -214,13 +217,16 @@ func (a *Attacker) captureBeacon(p *geonet.Packet, f radio.Frame) {
 		return
 	}
 	a.beaconSeen[k] = true
-	payload := append([]byte(nil), f.Payload...)
+	// The frame's payload buffer is recycled after this delivery walk, so
+	// the capture must copy it — into a pooled buffer the replay returns.
+	payload := append(a.cfg.Medium.GrabPayload(), f.Payload...)
 	a.cfg.Engine.Schedule(a.cfg.ProcessingDelay, "attack.replayBeacon", func() {
 		if a.stopped {
+			// The pooled buffer is simply dropped to the GC; stop is rare.
 			return
 		}
 		a.stats.BeaconsReplayed++
-		a.cfg.Medium.Send(a.antenna, radio.BroadcastID, payload)
+		a.cfg.Medium.SendPooled(a.antenna, radio.BroadcastID, payload)
 	})
 }
 
@@ -235,23 +241,25 @@ func (a *Attacker) capturePacket(p *geonet.Packet) {
 		return
 	}
 	a.pktSeen[k] = true
-	out := p.Clone()
+	// Fork, not Clone: the attack rewrites only the unprotected basic
+	// header, so the replay shares the captured packet's protected bytes.
+	out := p.Fork()
 	if a.cfg.Mode == IntraArea {
 		out.Basic.RHL = 1
 	}
-	payload := out.Marshal()
 	a.cfg.Engine.Schedule(a.cfg.ProcessingDelay, "attack.replayPacket", func() {
 		if a.stopped {
 			return
 		}
 		a.stats.PacketsReplayed++
+		payload := out.AppendMarshal(a.cfg.Medium.GrabPayload())
 		if a.cfg.ReplayRange > 0 {
 			prev := a.antenna.Range()
 			a.antenna.SetRange(a.cfg.ReplayRange)
-			a.cfg.Medium.Send(a.antenna, radio.BroadcastID, payload)
+			a.cfg.Medium.SendPooled(a.antenna, radio.BroadcastID, payload)
 			a.antenna.SetRange(prev)
 			return
 		}
-		a.cfg.Medium.Send(a.antenna, radio.BroadcastID, payload)
+		a.cfg.Medium.SendPooled(a.antenna, radio.BroadcastID, payload)
 	})
 }

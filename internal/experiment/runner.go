@@ -194,26 +194,49 @@ func RunOnce(s Scenario, seed uint64) RunResult {
 	return res
 }
 
-// RunArm executes `runs` seeded repetitions of one arm in parallel and
-// merges their series. Results are deterministic for a given (scenario,
-// runs) pair regardless of scheduling.
-func RunArm(s Scenario, runs int) RunResult {
-	if runs <= 0 {
-		runs = 1
+// runJob is one seeded RunOnce executed by the shared worker pool.
+type runJob struct {
+	s    Scenario
+	seed uint64
+	out  *RunResult
+}
+
+// runJobs executes every job on maxParallel() workers pulling from one
+// shared queue. Jobs are independent seeded runs writing to disjoint
+// result slots, so the output is deterministic regardless of scheduling.
+func runJobs(jobs []runJob) {
+	workers := maxParallel()
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
-	out := make([]RunResult, runs)
+	ch := make(chan runJob)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, maxParallel())
-	for i := 0; i < runs; i++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i] = RunOnce(s, s.Seed+uint64(i))
-		}(i)
+			for j := range ch {
+				*j.out = RunOnce(j.s, j.seed)
+			}
+		}()
 	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
 	wg.Wait()
+}
+
+// armJobs appends one job per seeded repetition of an arm.
+func armJobs(jobs []runJob, s Scenario, out []RunResult) []runJob {
+	for i := range out {
+		jobs = append(jobs, runJob{s: s, seed: s.Seed + uint64(i), out: &out[i]})
+	}
+	return jobs
+}
+
+// mergeRuns folds per-run results into one RunResult.
+func mergeRuns(out []RunResult) RunResult {
 	merged := out[0]
 	for _, r := range out[1:] {
 		merged.Series.Merge(r.Series)
@@ -223,12 +246,33 @@ func RunArm(s Scenario, runs int) RunResult {
 	return merged
 }
 
+// RunArm executes `runs` seeded repetitions of one arm in parallel and
+// merges their series. Results are deterministic for a given (scenario,
+// runs) pair regardless of scheduling.
+func RunArm(s Scenario, runs int) RunResult {
+	if runs <= 0 {
+		runs = 1
+	}
+	out := make([]RunResult, runs)
+	runJobs(armJobs(nil, s, out))
+	return mergeRuns(out)
+}
+
 // RunAB executes the attack-free and attacked arms of a scenario and
-// returns the paired result.
+// returns the paired result. Both arms' runs feed one shared worker
+// pool: with 2×runs independent jobs in flight the tail of the first arm
+// no longer idles most cores the way running the arms back-to-back did.
 func RunAB(s Scenario, runs int) metrics.ABResult {
-	free := RunArm(s.withoutAttack(), runs)
-	attacked := RunArm(s, runs)
-	return metrics.ABResult{Free: free.Series, Attacked: attacked.Series}
+	if runs <= 0 {
+		runs = 1
+	}
+	freeOut := make([]RunResult, runs)
+	atkOut := make([]RunResult, runs)
+	jobs := make([]runJob, 0, 2*runs)
+	jobs = armJobs(jobs, s.withoutAttack(), freeOut)
+	jobs = armJobs(jobs, s, atkOut)
+	runJobs(jobs)
+	return metrics.ABResult{Free: mergeRuns(freeOut).Series, Attacked: mergeRuns(atkOut).Series}
 }
 
 func maxParallel() int {

@@ -260,6 +260,14 @@ func (r *Router) Stop() {
 	r.cfg.Medium.Detach(radio.NodeID(r.cfg.Addr))
 }
 
+// send marshals p into a pooled medium buffer and transmits it: the
+// zero-allocation counterpart of Send(..., p.Marshal()). The buffer is
+// reclaimed by the medium after the frame's delivery event.
+func (r *Router) send(to radio.NodeID, p *Packet) {
+	buf := r.cfg.Medium.GrabPayload()
+	r.cfg.Medium.SendPooled(r.antenna, to, p.AppendMarshal(buf))
+}
+
 // pv samples the node's current position vector.
 func (r *Router) pv() PositionVector {
 	var v geo.Vector
@@ -294,7 +302,7 @@ func (r *Router) SendBeacon() {
 	}
 	p.Sign(r.cfg.Signer)
 	r.stats.BeaconsSent++
-	r.cfg.Medium.Send(r.antenna, radio.BroadcastID, p.Marshal())
+	r.send(radio.BroadcastID, p)
 }
 
 // SendGeoUnicast originates a GUC packet toward a destination node at a
@@ -349,9 +357,9 @@ func (r *Router) SendGeoBroadcast(area geo.Area, payload []byte) Key {
 		st.cbfSeen = true
 		st.cbfResolved = true
 		st.cbfFirstRHL = p.Basic.RHL
-		out := p.Clone()
+		out := p.Fork()
 		out.Basic.RHL--
-		r.cfg.Medium.Send(r.antenna, radio.BroadcastID, out.Marshal())
+		r.send(radio.BroadcastID, out)
 	} else {
 		st.gfSeen = true
 		r.forwardGreedy(p, area.Center(), st)
@@ -360,16 +368,20 @@ func (r *Router) SendGeoBroadcast(area geo.Area, payload []byte) Key {
 }
 
 // Deliver implements radio.Receiver: the router's frame ingress path.
+// Decode and signature verification are shared across the frame's
+// receivers via the transmission's FrameCache, so the returned packet is
+// an immutable shared view — forwarding paths Fork it before mutating
+// the basic header.
 func (r *Router) Deliver(f radio.Frame) {
 	if r.stopped {
 		return
 	}
-	p, err := Unmarshal(f.Payload)
+	p, err := DecodeFrame(f)
 	if err != nil {
 		r.stats.DecodeErrors++
 		return
 	}
-	if err := p.Verify(r.cfg.Verifier, r.cfg.Engine.Now()); err != nil {
+	if err := VerifyFrame(f, p, r.cfg.Verifier, r.cfg.Engine.Now()); err != nil {
 		// Forged or tampered: the security layer rejects it. Replays of
 		// authentic messages pass — the paper's attacks live here.
 		r.stats.AuthFailures++
@@ -460,7 +472,7 @@ func (r *Router) relayGreedy(p *Packet, f radio.Frame, st *pktState, target geo.
 		r.stats.RHLExpired++
 		return
 	}
-	out := p.Clone()
+	out := p.Fork()
 	out.Basic.RHL--
 	r.forwardGreedy(out, target, st)
 }
@@ -509,15 +521,15 @@ func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
 		// We are the GF entry point into the area: re-broadcast without
 		// contention delay.
 		st.cbfResolved = true
-		out := p.Clone()
+		out := p.Fork()
 		out.Basic.RHL--
 		r.stats.CBFForwarded++
-		r.cfg.Medium.Send(r.antenna, radio.BroadcastID, out.Marshal())
+		r.send(radio.BroadcastID, out)
 		return
 	}
 	st.cbfSendRHL = p.Basic.RHL - 1
 	to := r.contentionTimeout(f)
-	buffered := p.Clone()
+	buffered := p.Fork()
 	r.stats.CBFBuffered++
 	st.cbfTimer = r.cfg.Engine.Schedule(to, "geonet.cbf", func() {
 		if r.stopped || st.cbfResolved {
@@ -528,7 +540,7 @@ func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
 		out := buffered
 		out.Basic.RHL = st.cbfSendRHL
 		r.stats.CBFForwarded++
-		r.cfg.Medium.Send(r.antenna, radio.BroadcastID, out.Marshal())
+		r.send(radio.BroadcastID, out)
 	})
 }
 
@@ -590,7 +602,7 @@ func (r *Router) trySendGreedy(p *Packet, target geo.Point, st *pktState) bool {
 		return false
 	}
 	r.stats.GFForwarded++
-	r.cfg.Medium.Send(r.antenna, radio.NodeID(best.Addr), p.Marshal())
+	r.send(radio.NodeID(best.Addr), p)
 	return true
 }
 

@@ -36,7 +36,7 @@ func (r *Router) SendSHB(payload []byte) Key {
 	}
 	p.Sign(r.cfg.Signer)
 	r.stats.Originated++
-	r.cfg.Medium.Send(r.antenna, radio.BroadcastID, p.Marshal())
+	r.send(radio.BroadcastID, p)
 	return p.Key()
 }
 
@@ -60,7 +60,7 @@ func (r *Router) SendTSB(payload []byte, hops uint8) Key {
 	r.stats.Originated++
 	st := r.stateFor(p.Key())
 	st.tsbDone = true
-	r.cfg.Medium.Send(r.antenna, radio.BroadcastID, p.Marshal())
+	r.send(radio.BroadcastID, p)
 	return p.Key()
 }
 
@@ -83,10 +83,10 @@ func (r *Router) handleTSB(p *Packet) {
 		r.stats.RHLExpired++
 		return
 	}
-	out := p.Clone()
+	out := p.Fork()
 	out.Basic.RHL--
 	r.stats.TSBForwarded++
-	r.cfg.Medium.Send(r.antenna, radio.BroadcastID, out.Marshal())
+	r.send(radio.BroadcastID, out)
 }
 
 // SendGeoUnicastAuto sends a GeoUnicast to a destination whose position
@@ -121,7 +121,7 @@ func (r *Router) sendLSRequest(dest Address) {
 	p.Sign(r.cfg.Signer)
 	st := r.stateFor(p.Key())
 	st.tsbDone = true
-	r.cfg.Medium.Send(r.antenna, radio.BroadcastID, p.Marshal())
+	r.send(radio.BroadcastID, p)
 }
 
 // handleLSRequest answers requests for our own position and re-floods
@@ -147,10 +147,10 @@ func (r *Router) handleLSRequest(p *Packet, f radio.Frame) {
 		r.stats.RHLExpired++
 		return
 	}
-	out := p.Clone()
+	out := p.Fork()
 	out.Basic.RHL--
 	r.stats.TSBForwarded++
-	r.cfg.Medium.Send(r.antenna, radio.BroadcastID, out.Marshal())
+	r.send(radio.BroadcastID, out)
 	_ = f
 }
 

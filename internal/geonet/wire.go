@@ -279,25 +279,34 @@ func decodeArea(b []byte) (geo.Area, int, error) {
 	}
 }
 
-// protectedBytes serializes the signed region: everything except the
-// basic header and the envelope.
-func (p *Packet) protectedBytes() []byte {
-	buf := make([]byte, 0, 64+len(p.Payload))
-	buf = append(buf, uint8(p.Type), p.TrafficClass)
-	buf = binary.BigEndian.AppendUint16(buf, p.SN)
-	buf = appendPV(buf, p.SourcePV)
+// basicHeaderLen is the encoded size of the basic header.
+const basicHeaderLen = 6
+
+// appendProtected appends the signed region — everything except the
+// basic header and the envelope — to dst. It is the single encoder the
+// sign, verify and marshal paths all share, so the signed bytes and the
+// transmitted bytes cannot diverge.
+func (p *Packet) appendProtected(dst []byte) []byte {
+	dst = append(dst, uint8(p.Type), p.TrafficClass)
+	dst = binary.BigEndian.AppendUint16(dst, p.SN)
+	dst = appendPV(dst, p.SourcePV)
 	switch p.Type {
 	case TypeGeoUnicast, TypeLSReply:
-		buf = binary.BigEndian.AppendUint64(buf, uint64(p.DestAddr))
-		buf = appendPoint(buf, p.DestPos)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.DestAddr))
+		dst = appendPoint(dst, p.DestPos)
 	case TypeGeoBroadcast:
-		buf = appendArea(buf, p.Area)
+		dst = appendArea(dst, p.Area)
 	case TypeLSRequest:
-		buf = binary.BigEndian.AppendUint64(buf, uint64(p.DestAddr))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(p.DestAddr))
 	}
-	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.Payload)))
-	buf = append(buf, p.Payload...)
-	return buf
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(p.Payload)))
+	dst = append(dst, p.Payload...)
+	return dst
+}
+
+// protectedBytes serializes the signed region into a fresh buffer.
+func (p *Packet) protectedBytes() []byte {
+	return p.appendProtected(make([]byte, 0, 64+len(p.Payload)))
 }
 
 // Sign computes and attaches the security envelope using the source's
@@ -318,35 +327,52 @@ func (p *Packet) Verify(v security.Verifier, now time.Duration) error {
 	}, now)
 }
 
-// Marshal encodes the packet for transmission.
-func (p *Packet) Marshal() []byte {
-	buf := make([]byte, 0, 128+len(p.Payload))
+// AppendMarshal appends the packet's wire encoding to dst and returns
+// the extended slice. It writes the basic header, protected region and
+// envelope in one pass — no intermediate protected-bytes buffer — so
+// marshalling into a pooled buffer allocates nothing.
+func (p *Packet) AppendMarshal(dst []byte) []byte {
 	// Basic header (unsigned).
-	buf = append(buf, p.Basic.Version, p.Basic.RHL)
-	buf = binary.BigEndian.AppendUint32(buf, p.Basic.LifetimeMs)
+	dst = append(dst, p.Basic.Version, p.Basic.RHL)
+	dst = binary.BigEndian.AppendUint32(dst, p.Basic.LifetimeMs)
 	// Protected region.
-	buf = append(buf, p.protectedBytes()...)
+	dst = p.appendProtected(dst)
 	// Envelope.
-	buf = security.AppendEnvelope(buf, p.Cert, p.Signature)
-	return buf
+	dst = security.AppendEnvelope(dst, p.Cert, p.Signature)
+	return dst
+}
+
+// Marshal encodes the packet for transmission into a fresh buffer.
+func (p *Packet) Marshal() []byte {
+	return p.AppendMarshal(make([]byte, 0, 128+len(p.Payload)))
 }
 
 // Unmarshal decodes a packet from wire bytes.
 func Unmarshal(b []byte) (*Packet, error) {
-	p := &Packet{}
+	p, _, err := unmarshalWire(b)
+	return p, err
+}
+
+// unmarshalWire decodes a packet and additionally reports where the
+// protected (signed) region ends: b[basicHeaderLen:protEnd] is exactly
+// the byte range the source signed, so a verifier holding the wire bytes
+// can check the signature without re-serializing the packet.
+func unmarshalWire(b []byte) (p *Packet, protEnd int, err error) {
+	wire := b
+	p = &Packet{}
 	if len(b) < 6 {
-		return nil, ErrTruncated
+		return nil, 0, ErrTruncated
 	}
 	p.Basic.Version = b[0]
 	if p.Basic.Version != protocolVersion {
-		return nil, ErrBadVersion
+		return nil, 0, ErrBadVersion
 	}
 	p.Basic.RHL = b[1]
 	p.Basic.LifetimeMs = binary.BigEndian.Uint32(b[2:])
-	b = b[6:]
+	b = b[basicHeaderLen:]
 
 	if len(b) < 4 {
-		return nil, ErrTruncated
+		return nil, 0, ErrTruncated
 	}
 	p.Type = PacketType(b[0])
 	p.TrafficClass = b[1]
@@ -355,7 +381,7 @@ func Unmarshal(b []byte) (*Packet, error) {
 
 	pv, err := decodePV(b)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p.SourcePV = pv
 	b = b[pvWireLen:]
@@ -364,59 +390,74 @@ func Unmarshal(b []byte) (*Packet, error) {
 	case TypeBeacon, TypeSHB, TypeTSB:
 	case TypeGeoUnicast, TypeLSReply:
 		if len(b) < 16 {
-			return nil, ErrTruncated
+			return nil, 0, ErrTruncated
 		}
 		p.DestAddr = Address(binary.BigEndian.Uint64(b))
 		pos, err := decodePoint(b[8:])
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		p.DestPos = pos
 		b = b[16:]
 	case TypeGeoBroadcast:
 		area, n, err := decodeArea(b)
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		p.Area = area
 		b = b[n:]
 	case TypeLSRequest:
 		if len(b) < 8 {
-			return nil, ErrTruncated
+			return nil, 0, ErrTruncated
 		}
 		p.DestAddr = Address(binary.BigEndian.Uint64(b))
 		b = b[8:]
 	default:
-		return nil, ErrBadType
+		return nil, 0, ErrBadType
 	}
 
 	if len(b) < 2 {
-		return nil, ErrTruncated
+		return nil, 0, ErrTruncated
 	}
 	plen := int(binary.BigEndian.Uint16(b))
 	if plen > maxPayload {
-		return nil, fmt.Errorf("geonet: payload length %d exceeds maximum %d", plen, maxPayload)
+		return nil, 0, fmt.Errorf("geonet: payload length %d exceeds maximum %d", plen, maxPayload)
 	}
 	if len(b) < 2+plen {
-		return nil, ErrTruncated
+		return nil, 0, ErrTruncated
 	}
 	p.Payload = append([]byte(nil), b[2:2+plen]...)
 	b = b[2+plen:]
+	protEnd = len(wire) - len(b)
 
 	cert, sig, _, err := security.DecodeEnvelope(b)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	p.Cert = cert
 	p.Signature = sig
-	return p, nil
+	return p, protEnd, nil
 }
 
-// Clone returns a deep copy suitable for independent mutation (the
-// attacker's modify-and-replay primitive).
+// Clone returns a deep copy suitable for independent mutation of any
+// field, including protected bytes (the attacker's modify-and-replay
+// primitive). Forwarding paths that only rewrite the basic header should
+// use Fork instead.
 func (p *Packet) Clone() *Packet {
 	q := *p
 	q.Payload = append([]byte(nil), p.Payload...)
 	q.Signature = append([]byte(nil), p.Signature...)
+	return &q
+}
+
+// Fork returns a copy-on-write copy for the per-hop forwarding path: the
+// fork owns its mutable Basic Header (and every other scalar field),
+// while Payload, Signature and the certificate byte slices remain shared
+// with the original. The shared bytes are immutable by contract — the
+// protected region cannot change in flight without breaking the
+// signature, so forwarders never need to write them. Callers that DO
+// mutate protected bytes (tampering experiments) must use Clone.
+func (p *Packet) Fork() *Packet {
+	q := *p
 	return &q
 }

@@ -103,13 +103,55 @@ type NodeID uint64
 const BroadcastID NodeID = 0xFFFFFFFFFFFFFFFF
 
 // Frame is a link-layer frame in flight. Payload bytes are shared between
-// all receivers; receivers must not mutate them.
+// all receivers; receivers must not mutate them, and must not retain them
+// past the delivery callback — frames sent through the pooled marshal
+// path (SendPooled) reuse their payload buffers for later frames.
 type Frame struct {
 	From    NodeID
 	To      NodeID // BroadcastID for broadcast
 	Payload []byte
 	TxPos   geo.Point     // where the transmitter was when it sent
 	TxTime  time.Duration // when it was sent
+
+	// Cache is the per-transmission decode/verify scratchpad shared by
+	// every receiver of this frame. The medium attaches one to each frame
+	// it delivers; the network layer (geonet.DecodeFrame) populates it on
+	// first use so a broadcast fanning out to N receivers is decoded and
+	// signature-checked once instead of N times. Nil on hand-built frames
+	// — consumers must treat a missing cache as "decode yourself".
+	Cache *FrameCache
+}
+
+// FrameCache carries the decode-once state of a single transmission. The
+// medium owns and pools these: a cache is valid only for the duration of
+// the frame's delivery walk, so receivers must not retain it (retaining
+// the *decoded* packet is fine — it is allocated per frame, not pooled).
+// The fields are typed loosely (any) so the radio layer stays independent
+// of the network layer that interprets the bytes.
+type FrameCache struct {
+	// DecodeDone/Decoded/DecodeErr memoize the first decode of the frame
+	// payload.
+	DecodeDone bool
+	Decoded    any
+	DecodeErr  error
+	// Protected aliases the signed region of the frame payload, recorded
+	// at decode time so verification can run over the wire bytes without
+	// re-serializing. Only valid while the frame is being delivered.
+	Protected []byte
+
+	// VerifyDone/Verifier/VerifiedAt/VerifyErr memoize the first
+	// signature verification, keyed by the verifier instance and the
+	// verification time (all receivers of one batched delivery share
+	// both, so in practice this is one verify per transmission).
+	VerifyDone bool
+	Verifier   any
+	VerifiedAt time.Duration
+	VerifyErr  error
+}
+
+// reset clears the cache for reuse, dropping references for the GC.
+func (c *FrameCache) reset() {
+	*c = FrameCache{}
 }
 
 // IsBroadcast reports whether the frame was link-layer broadcast.
@@ -250,6 +292,11 @@ type Medium struct {
 	// single-threaded, so no synchronization is needed; a slice is grabbed
 	// at Send and returned when its delivery event has run.
 	pool [][]delivery
+	// cachePool recycles per-transmission FrameCaches the same way.
+	cachePool []*FrameCache
+	// payloadPool recycles marshal buffers handed out by GrabPayload and
+	// reclaimed after a SendPooled frame's delivery event has run.
+	payloadPool [][]byte
 }
 
 // delivery is one receiver's slot in a frame's batched delivery walk.
@@ -537,7 +584,23 @@ func (m *Medium) NodeCount() int { return len(m.order) }
 // receivers in attach order — exactly the order the historical
 // one-event-per-receiver implementation produced.
 func (m *Medium) Send(from *Antenna, to NodeID, payload []byte) Frame {
+	return m.send(from, to, payload, false)
+}
+
+// SendPooled transmits like Send but takes ownership of payload, which
+// must no longer be touched by the caller: once the frame's delivery
+// event has run, the buffer is reclaimed into the medium's marshal-buffer
+// free list and will back a future frame. Pair with GrabPayload for an
+// allocation-free marshal+transmit path.
+func (m *Medium) SendPooled(from *Antenna, to NodeID, payload []byte) {
+	m.send(from, to, payload, true)
+}
+
+func (m *Medium) send(from *Antenna, to NodeID, payload []byte, pooled bool) Frame {
 	if from.removed {
+		if pooled {
+			m.releasePayload(payload)
+		}
 		return Frame{}
 	}
 	txPos := from.Position()
@@ -559,10 +622,22 @@ func (m *Medium) Send(from *Antenna, to NodeID, payload []byte) Frame {
 	}
 	if len(targets) == 0 {
 		m.releaseDelivery(targets)
+		if pooled {
+			m.releasePayload(payload)
+		}
 		return f
 	}
+	// The delivered copy of the frame carries the pooled decode cache;
+	// the copy returned to the sender does not — the cache dies with the
+	// delivery event, and the returned frame must stay inert.
+	fd := f
+	fd.Cache = m.grabCache()
 	m.engine.ScheduleTransient(m.latency, "radio.deliver", func() {
-		m.deliver(f, targets, targetReached)
+		m.deliver(fd, targets, targetReached)
+		m.releaseCache(fd.Cache)
+		if pooled {
+			m.releasePayload(payload)
+		}
 	})
 	return f
 }
@@ -672,6 +747,40 @@ func (m *Medium) releaseDelivery(s []delivery) {
 		s[i] = delivery{} // drop antenna references for the GC
 	}
 	m.pool = append(m.pool, s[:0])
+}
+
+// grabCache takes a FrameCache from the free list. Like the delivery
+// pool it is sync-free: caches are grabbed at Send and returned after
+// the delivery event, all on the engine goroutine.
+func (m *Medium) grabCache() *FrameCache {
+	if n := len(m.cachePool); n > 0 {
+		c := m.cachePool[n-1]
+		m.cachePool = m.cachePool[:n-1]
+		return c
+	}
+	return &FrameCache{}
+}
+
+func (m *Medium) releaseCache(c *FrameCache) {
+	c.reset()
+	m.cachePool = append(m.cachePool, c)
+}
+
+// GrabPayload returns an empty marshal buffer from the payload free
+// list. Append the frame's wire encoding to it and hand it to SendPooled,
+// which reclaims the buffer after delivery; buffers therefore converge on
+// the size of the largest frames in flight.
+func (m *Medium) GrabPayload() []byte {
+	if n := len(m.payloadPool); n > 0 {
+		b := m.payloadPool[n-1]
+		m.payloadPool = m.payloadPool[:n-1]
+		return b
+	}
+	return make([]byte, 0, 256)
+}
+
+func (m *Medium) releasePayload(b []byte) {
+	m.payloadPool = append(m.payloadPool, b[:0])
 }
 
 func (m *Medium) blocked(a, b geo.Point) bool {

@@ -1,0 +1,108 @@
+package security
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestSimCAVerifyConcurrent hammers the cached-MAC verify path from as
+// many goroutines as the parallel experiment runner would use, with the
+// goroutines deliberately overlapping on station IDs so they contend on
+// the same cached HMAC states. Run under -race this pins the mutex
+// guarding simEnrollment's shared state; functionally it checks that
+// concurrent verifies neither corrupt digests (false rejects) nor let
+// tampered messages through (false accepts).
+func TestSimCAVerifyConcurrent(t *testing.T) {
+	const stations = 8
+	ca := NewSimCA(7)
+	msgs := make([]SignedMessage, stations)
+	for i := range msgs {
+		id := StationID(i + 1)
+		signer := ca.Enroll(id, 0)
+		protected := []byte{byte(i), 0xCA, 0xFE, byte(i * 3)}
+		msgs[i] = SignedMessage{
+			Cert:      signer.Certificate(),
+			Protected: protected,
+			Signature: signer.Sign(protected),
+		}
+	}
+	tampered := make([]SignedMessage, stations)
+	for i, m := range msgs {
+		bad := m
+		bad.Protected = append([]byte(nil), m.Protected...)
+		bad.Protected[0] ^= 0xFF
+		tampered[i] = bad
+	}
+
+	workers := runtime.NumCPU()
+	if workers < 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				// Stride by worker so goroutines continuously cross over
+				// the same enrollments rather than partitioning them.
+				m := msgs[(i+w)%stations]
+				if err := ca.Verify(m, time.Second); err != nil {
+					errs <- err
+					return
+				}
+				if err := ca.Verify(tampered[(i+w)%stations], time.Second); err != ErrBadSignature {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		t.Fatalf("concurrent verify: %v", err)
+	}
+}
+
+// TestSimCAVerifyAllocs asserts the verify hot path is allocation-free:
+// the per-enrollment MAC state is warmed at Enroll, so Verify is a map
+// lookup plus Reset/Write/Sum into a cached scratch buffer.
+func TestSimCAVerifyAllocs(t *testing.T) {
+	ca := NewSimCA(7)
+	signer := ca.Enroll(1, 0)
+	protected := []byte("position vector + payload")
+	msg := SignedMessage{
+		Cert:      signer.Certificate(),
+		Protected: protected,
+		Signature: signer.Sign(protected),
+	}
+	if err := ca.Verify(msg, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := ca.Verify(msg, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SimCA.Verify allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestSimSignerSignAllocs pins the sign path to its one unavoidable
+// allocation: the returned signature slice, which the packet retains.
+func TestSimSignerSignAllocs(t *testing.T) {
+	ca := NewSimCA(7)
+	signer := ca.Enroll(1, 0)
+	protected := []byte("beacon position vector")
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = signer.Sign(protected)
+	})
+	if allocs > 1 {
+		t.Fatalf("simSigner.Sign allocates %.1f/op, want <= 1", allocs)
+	}
+}

@@ -29,6 +29,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
+	"sync"
 	"time"
 )
 
@@ -96,6 +98,44 @@ type SimCA struct {
 type simEnrollment struct {
 	key  []byte
 	cert Certificate
+
+	// mu guards the cached MAC state below. Verification happens on the
+	// engine goroutine of whichever run owns this CA, but the parallel
+	// experiment runner and the concurrency tests may verify from many
+	// goroutines, so the hot path takes an (uncontended) mutex instead of
+	// assuming single-threaded use.
+	mu sync.Mutex
+	// mac is the station's HMAC state, created once at enrolment and
+	// reset between messages: verify is Reset+Write+Sum with zero
+	// allocations instead of a fresh hmac.New per message.
+	mac hash.Hash
+	// sum is the scratch digest buffer Sum appends into.
+	sum [sha256.Size]byte
+}
+
+// verify recomputes the station MAC over protected into the cached state
+// and reports whether it matches signature.
+func (rec *simEnrollment) verify(protected, signature []byte) bool {
+	rec.mu.Lock()
+	rec.mac.Reset()
+	rec.mac.Write(protected)
+	digest := rec.mac.Sum(rec.sum[:0])
+	ok := hmac.Equal(digest, signature)
+	rec.mu.Unlock()
+	return ok
+}
+
+// warmMAC builds a station HMAC state and runs one full
+// Reset/Write/Sum cycle so the one-time internal state marshalling
+// happens at enrolment, leaving the per-message path allocation-free.
+func warmMAC(key []byte) hash.Hash {
+	mac := hmac.New(sha256.New, key)
+	var scratch [sha256.Size]byte
+	mac.Reset()
+	mac.Write(scratch[:])
+	mac.Sum(scratch[:0])
+	mac.Reset()
+	return mac
 }
 
 var _ Verifier = (*SimCA)(nil)
@@ -140,8 +180,8 @@ func (ca *SimCA) Enroll(id StationID, notAfter time.Duration) Signer {
 	h := sha256.Sum256(key)
 	cert.PublicKey = h[:]
 	ca.endorse(&cert)
-	ca.enrolled[id] = &simEnrollment{key: key, cert: cert}
-	return &simSigner{key: key, cert: cert}
+	ca.enrolled[id] = &simEnrollment{key: key, cert: cert, mac: warmMAC(key)}
+	return &simSigner{key: key, cert: cert, mac: warmMAC(key)}
 }
 
 // Verify implements Verifier.
@@ -160,9 +200,7 @@ func (ca *SimCA) Verify(msg SignedMessage, now time.Duration) error {
 	if msg.Cert.NotAfter != 0 && now > msg.Cert.NotAfter {
 		return ErrExpiredCertificate
 	}
-	mac := hmac.New(sha256.New, rec.key)
-	mac.Write(msg.Protected)
-	if !hmac.Equal(mac.Sum(nil), msg.Signature) {
+	if !rec.verify(msg.Protected, msg.Signature) {
 		return ErrBadSignature
 	}
 	return nil
@@ -171,14 +209,24 @@ func (ca *SimCA) Verify(msg SignedMessage, now time.Duration) error {
 type simSigner struct {
 	key  []byte
 	cert Certificate
+
+	// mu/mac mirror simEnrollment: one cached, resettable MAC state per
+	// signer instead of an hmac.New per message.
+	mu  sync.Mutex
+	mac hash.Hash
 }
 
 var _ Signer = (*simSigner)(nil)
 
 func (s *simSigner) Sign(protected []byte) []byte {
-	mac := hmac.New(sha256.New, s.key)
-	mac.Write(protected)
-	return mac.Sum(nil)
+	s.mu.Lock()
+	s.mac.Reset()
+	s.mac.Write(protected)
+	// The signature is retained by the caller (it travels in the packet),
+	// so it must be a fresh slice — the single allocation left here.
+	sig := s.mac.Sum(make([]byte, 0, sha256.Size))
+	s.mu.Unlock()
+	return sig
 }
 
 func (s *simSigner) Certificate() Certificate { return s.cert }
