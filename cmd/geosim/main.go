@@ -6,19 +6,35 @@
 //	geosim -list
 //	geosim -experiment fig7a -runs 100
 //	geosim -experiment fig9a -runs 10 -format csv
+//	geosim -experiment fig7a -runs 10 -format json
 //	geosim -experiment fig12a
 //	geosim -experiment all -runs 5
 //
+// Long sweeps run as resumable campaigns (see campaigns/ for bundled
+// specs). A campaign journals every completed (figure, arm, seed) cell to
+// results/<name>/journal.jsonl; interrupting it (Ctrl-C) and rerunning
+// with -resume executes only the missing cells and produces byte-identical
+// artifacts:
+//
+//	geosim -campaign campaigns/full-protocol.json
+//	geosim -campaign campaigns/full-protocol.json -resume
+//
 // With -runs 100 and the full 200 s duration a figure takes a while; use
-// lower run counts for exploration. Results print to stdout.
+// lower run counts for exploration. Results print to stdout; campaign
+// artifacts land in results/<name>/.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/vanetsec/georoute"
@@ -26,11 +42,16 @@ import (
 
 func main() {
 	var (
-		list   = flag.Bool("list", false, "list available experiments and exit")
-		expID  = flag.String("experiment", "", "experiment ID to run (see -list), or 'all'")
-		runs   = flag.Int("runs", 10, "simulation runs per arm")
-		format = flag.String("format", "table", "output format: table or csv")
-		seeds  = flag.Int("showcase-seeds", 5, "seeds for showcase experiments (fig12a/fig12b)")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		expID    = flag.String("experiment", "", "experiment ID to run (see -list), or 'all'")
+		runs     = flag.Int("runs", 10, "simulation runs per arm")
+		format   = flag.String("format", "table", "output format: table, csv or json")
+		seeds    = flag.Int("showcase-seeds", 5, "seeds for showcase experiments (fig12a/fig12b)")
+		campPath = flag.String("campaign", "", "run a campaign spec (JSON, see campaigns/) instead of a single experiment")
+		resume   = flag.Bool("resume", false, "resume an interrupted campaign from its journal")
+		results  = flag.String("results", "results", "parent directory for campaign results")
+		maxCells = flag.Int("max-cells", 0, "stop the campaign after N fresh cells (testing/CI)")
+		workers  = flag.Int("workers", 0, "campaign worker pool size (default: CPUs-1)")
 	)
 	flag.Parse()
 
@@ -38,8 +59,11 @@ func main() {
 		printList()
 		return
 	}
+	if *campPath != "" {
+		os.Exit(runCampaign(*campPath, *results, *resume, *maxCells, *workers))
+	}
 	if *expID == "" {
-		fmt.Fprintln(os.Stderr, "geosim: pass -experiment <id> or -list")
+		fmt.Fprintln(os.Stderr, "geosim: pass -experiment <id>, -campaign <spec> or -list")
 		os.Exit(2)
 	}
 
@@ -68,26 +92,94 @@ func printList() {
 	fmt.Println("  fig12b      Hazard + CBF notification: vehicles on road over time")
 	fmt.Println("  fig13       Blind-curve collision: speed profiles")
 	fmt.Println("  all         everything above")
+	fmt.Println()
+	fmt.Println("Campaigns (resumable sweeps): geosim -campaign campaigns/<spec>.json")
+}
+
+// runCampaign executes a campaign spec and reports progress on stderr.
+// Exit codes: 0 complete, 1 error, 3 interrupted (resume with -resume).
+func runCampaign(specPath, resultsDir string, resume bool, maxCells, workers int) int {
+	sp, err := georoute.LoadCampaignSpec(specPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	last := ""
+	info, err := georoute.RunCampaign(ctx, sp, georoute.CampaignOptions{
+		ResultsDir: resultsDir,
+		Resume:     resume,
+		MaxCells:   maxCells,
+		Workers:    workers,
+		Progress: func(done, total, replayed int, key string) {
+			if key == "" {
+				if replayed > 0 {
+					fmt.Fprintf(os.Stderr, "campaign %s: replayed %d/%d cells from journal\n", sp.Name, replayed, total)
+				}
+				return
+			}
+			last = key
+			fmt.Fprintf(os.Stderr, "\rcampaign %s: %d/%d cells  %-40s", sp.Name, done, total, key)
+		},
+	})
+	if last != "" {
+		fmt.Fprintln(os.Stderr)
+	}
+	switch {
+	case errors.Is(err, georoute.ErrCampaignInterrupted):
+		fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+		fmt.Fprintf(os.Stderr, "geosim: journal saved — continue with: geosim -campaign %s -resume\n", specPath)
+		return 3
+	case err != nil:
+		fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "campaign %s: complete in %v (%d cells: %d replayed, %d executed)\n",
+		sp.Name, time.Since(start).Round(time.Second), info.Total, info.Replayed, info.Executed)
+	fmt.Printf("artifacts written to %s\n", info.Dir)
+	return 0
+}
+
+func printJSON(v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	return nil
 }
 
 func runExperiment(id string, runs int, format string, showcaseSeeds int) error {
 	switch id {
 	case "tableI":
+		if format == "json" {
+			return printJSON(georoute.BuildTablesArtifact())
+		}
 		printTableI()
 		return nil
 	case "tableII":
+		if format == "json" {
+			return printJSON(georoute.BuildTablesArtifact())
+		}
 		printTableII()
 		return nil
 	case "fig12a":
-		return runHazard(georoute.CaseGF, showcaseSeeds)
+		return runHazard(georoute.CaseGF, showcaseSeeds, format)
 	case "fig12b":
-		return runHazard(georoute.CaseCBF, showcaseSeeds)
+		return runHazard(georoute.CaseCBF, showcaseSeeds, format)
 	case "fig13":
-		return runCurve()
+		return runCurve(format)
 	}
 	fig, ok := georoute.Figures()[id]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (try -list)", id)
+	}
+	if format == "json" {
+		res := fig.Run(runs)
+		return printJSON(georoute.BuildFigureArtifact(res))
 	}
 	fmt.Printf("== %s: %s (%d runs/arm) ==\n", fig.ID, fig.Title, runs)
 	start := time.Now()
@@ -101,14 +193,14 @@ func runExperiment(id string, runs int, format string, showcaseSeeds int) error 
 		fmt.Print(georoute.RenderTable(res.BinWidth, res.Rates))
 	}
 
-	fmt.Println("\nOverall reception per arm:")
+	fmt.Println("\nOverall reception per arm (mean over runs ± 95% CI):")
 	arms := make([]string, 0, len(res.Overall))
 	for l := range res.Overall {
 		arms = append(arms, l)
 	}
 	sort.Strings(arms)
 	for _, l := range arms {
-		fmt.Printf("  %-16s %6.1f%%\n", l, 100*res.Overall[l])
+		fmt.Printf("  %-16s %6.1f%%%s\n", l, 100*res.Overall[l], spreadSuffix(res.ArmSpread[l]))
 	}
 
 	fmt.Println("\nDrop rates (γ/λ), measured vs paper:")
@@ -117,7 +209,8 @@ func runExperiment(id string, runs int, format string, showcaseSeeds int) error 
 		if p.PaperDrop >= 0 {
 			paper = fmt.Sprintf("%5.1f%%", 100*p.PaperDrop)
 		}
-		fmt.Printf("  %-16s measured %5.1f%%   paper %s\n", p.Label, 100*res.Drops[p.Label], paper)
+		fmt.Printf("  %-16s measured %5.1f%%   paper %s%s\n",
+			p.Label, 100*res.Drops[p.Label], paper, spreadSuffix(res.DropSpread[p.Label]))
 	}
 
 	if strings.HasPrefix(id, "fig8") || strings.HasPrefix(id, "fig10") {
@@ -130,6 +223,16 @@ func runExperiment(id string, runs int, format string, showcaseSeeds int) error 
 	}
 	fmt.Println()
 	return nil
+}
+
+// spreadSuffix renders per-run dispersion when there was more than one
+// run: sample stddev and the 95% confidence interval of the mean.
+func spreadSuffix(s georoute.Spread) string {
+	if s.Runs < 2 {
+		return ""
+	}
+	return fmt.Sprintf("   (runs %d: σ=%.1f, 95%% CI %.1f–%.1f%%)",
+		s.Runs, 100*s.Stddev, 100*s.CILow, 100*s.CIHigh)
 }
 
 func printTableI() {
@@ -160,53 +263,30 @@ func printTableII() {
 	}
 }
 
-func runHazard(c georoute.HazardCase, seeds int) error {
+func runHazard(c georoute.HazardCase, seeds int, format string) error {
+	art := georoute.RunHazardArtifact(c, seeds)
+	if format == "json" {
+		return printJSON(art)
+	}
 	name := "fig12a (GF case)"
 	if c == georoute.CaseCBF {
 		name = "fig12b (CBF case)"
 	}
 	fmt.Printf("== %s: vehicles on road over time, %d seeds ==\n", name, seeds)
-	type agg struct {
-		counts     []float64
-		gateClosed int
-		gateTimes  []time.Duration
-	}
-	arms := map[string]*agg{"af": {}, "atk": {}}
-	for _, arm := range []string{"af", "atk"} {
-		a := arms[arm]
-		for s := 0; s < seeds; s++ {
-			res := georoute.RunHazard(georoute.HazardConfig{
-				Case:     c,
-				Attacked: arm == "atk",
-				Seed:     uint64(s + 1),
-			})
-			if a.counts == nil {
-				a.counts = make([]float64, len(res.VehicleCount))
-			}
-			for i, v := range res.VehicleCount {
-				if i < len(a.counts) {
-					a.counts[i] += float64(v) / float64(seeds)
-				}
-			}
-			if res.GateClosedAt > 0 {
-				a.gateClosed++
-				a.gateTimes = append(a.gateTimes, res.GateClosedAt)
-			}
-		}
-	}
+	af, atk := art.Arms["af"], art.Arms["atk"]
 	fmt.Printf("%-8s %12s %12s\n", "t(s)", "af", "atk")
-	for i := 0; i < len(arms["af"].counts); i += 10 {
-		fmt.Printf("%-8d %12.1f %12.1f\n", i, arms["af"].counts[i], arms["atk"].counts[i])
+	for i := 0; i < len(af.MeanVehicleCount); i += 10 {
+		atkV := 0.0
+		if i < len(atk.MeanVehicleCount) {
+			atkV = atk.MeanVehicleCount[i]
+		}
+		fmt.Printf("%-8d %12.1f %12.1f\n", i, af.MeanVehicleCount[i], atkV)
 	}
 	for _, arm := range []string{"af", "atk"} {
-		a := arms[arm]
-		mean := time.Duration(0)
-		for _, g := range a.gateTimes {
-			mean += g / time.Duration(len(a.gateTimes))
-		}
-		fmt.Printf("%s: entrance warned in %d/%d runs", arm, a.gateClosed, seeds)
-		if a.gateClosed > 0 {
-			fmt.Printf(" (mean %v)", mean.Round(time.Second))
+		a := art.Arms[arm]
+		fmt.Printf("%s: entrance warned in %d/%d runs", arm, a.GateClosedRuns, seeds)
+		if a.GateClosedRuns > 0 {
+			fmt.Printf(" (mean %v)", (time.Duration(a.MeanGateCloseSeconds * float64(time.Second))).Round(time.Second))
 		}
 		fmt.Println()
 	}
@@ -214,10 +294,13 @@ func runHazard(c georoute.HazardCase, seeds int) error {
 	return nil
 }
 
-func runCurve() error {
-	fmt.Println("== fig13: blind-curve speed profiles ==")
+func runCurve(format string) error {
 	af := georoute.RunCurve(georoute.CurveConfig{Seed: 1})
 	atk := georoute.RunCurve(georoute.CurveConfig{Seed: 1, Attacked: true})
+	if format == "json" {
+		return printJSON(georoute.BuildCurveArtifact(af, atk))
+	}
+	fmt.Println("== fig13: blind-curve speed profiles ==")
 	fmt.Printf("%-8s %10s %10s %10s %10s\n", "t(s)", "V1(af)", "V2(af)", "V1(atk)", "V2(atk)")
 	for i := 0; i < len(af.Times); i += 10 {
 		row := func(xs []float64) float64 {

@@ -32,9 +32,11 @@
 package georoute
 
 import (
+	"context"
 	"time"
 
 	"github.com/vanetsec/georoute/internal/attack"
+	"github.com/vanetsec/georoute/internal/campaign"
 	"github.com/vanetsec/georoute/internal/experiment"
 	"github.com/vanetsec/georoute/internal/geo"
 	"github.com/vanetsec/georoute/internal/geonet"
@@ -199,13 +201,84 @@ func Figures() map[string]Figure { return experiment.Figures() }
 // FigureIDs returns the registry keys in sorted order.
 func FigureIDs() []string { return experiment.FigureIDs() }
 
+// Campaigns ------------------------------------------------------------------
+//
+// A campaign runs a declarative experiment sweep — (figure × arm × seed)
+// cells over the registry, plus optional showcases — as a resumable job:
+// every completed cell is journaled to results/<name>/journal.jsonl, a
+// restart replays the journal and executes only the missing cells, and
+// the finalize step writes per-figure JSON artifacts whose bytes are
+// identical whether or not the campaign was interrupted.
+
+// CampaignSpec declares a campaign (see the campaigns/ directory).
+type CampaignSpec = campaign.Spec
+
+// CampaignOptions tunes a campaign run (results directory, worker count,
+// resume).
+type CampaignOptions = campaign.Options
+
+// CampaignInfo summarizes a finished or interrupted campaign run.
+type CampaignInfo = campaign.Info
+
+// CampaignCell identifies one runnable unit of a campaign.
+type CampaignCell = campaign.Cell
+
+// ErrCampaignInterrupted reports a campaign stopped before completing;
+// rerun with Resume to continue it.
+var ErrCampaignInterrupted = campaign.ErrInterrupted
+
+// LoadCampaignSpec reads and validates a JSON campaign spec.
+func LoadCampaignSpec(path string) (CampaignSpec, error) { return campaign.LoadSpec(path) }
+
+// RunCampaign executes (or resumes) a campaign.
+func RunCampaign(ctx context.Context, sp CampaignSpec, opts CampaignOptions) (CampaignInfo, error) {
+	return campaign.Run(ctx, sp, opts)
+}
+
+// FigureArtifact is the machine-readable per-figure result written by
+// campaign finalization and by geosim -format json.
+type FigureArtifact = campaign.FigureArtifact
+
+// HazardArtifact is the machine-readable Figure 12 showcase result.
+type HazardArtifact = campaign.HazardArtifact
+
+// CurveArtifact is the machine-readable Figure 13 showcase result.
+type CurveArtifact = campaign.CurveArtifact
+
+// TablesArtifact is the machine-readable Table I/II configuration.
+type TablesArtifact = campaign.TablesArtifact
+
+// BuildFigureArtifact converts a FigureResult into its artifact form.
+func BuildFigureArtifact(res FigureResult) FigureArtifact {
+	return campaign.BuildFigureArtifact(res)
+}
+
+// BuildCurveArtifact assembles the Figure 13 artifact from a run pair.
+func BuildCurveArtifact(free, attacked CurveResult) CurveArtifact {
+	return campaign.BuildCurveArtifact(free, attacked)
+}
+
+// BuildTablesArtifact assembles the configuration artifact.
+func BuildTablesArtifact() TablesArtifact { return campaign.BuildTablesArtifact() }
+
+// RunHazardArtifact runs a Figure 12 case over several seeds and folds it
+// with the campaign aggregation.
+func RunHazardArtifact(c HazardCase, seeds int) HazardArtifact {
+	return campaign.RunHazardArtifact(c, seeds)
+}
+
 // Metrics --------------------------------------------------------------------
 
-// ABResult pairs attack-free and attacked measurement series.
+// ABResult pairs attack-free and attacked measurement series. Multi-run
+// harnesses (RunAB, Figure.Run) populate its Spread fields with per-run
+// dispersion statistics.
 type ABResult = metrics.ABResult
 
 // BinSeries accumulates per-time-bin reception rates.
 type BinSeries = metrics.BinSeries
+
+// Spread reports per-run dispersion (sample mean, stddev, 95% CI).
+type Spread = metrics.Spread
 
 // RenderTable renders labeled per-bin series as an aligned text table.
 func RenderTable(width time.Duration, series map[string][]float64) string {

@@ -1,0 +1,151 @@
+package campaign
+
+import (
+	"github.com/vanetsec/georoute/internal/attack"
+	"github.com/vanetsec/georoute/internal/experiment"
+	"github.com/vanetsec/georoute/internal/metrics"
+	"github.com/vanetsec/georoute/internal/radio"
+	"github.com/vanetsec/georoute/internal/showcase"
+	"github.com/vanetsec/georoute/internal/traffic"
+)
+
+// ArmArtifact is the machine-readable result of one figure arm.
+type ArmArtifact struct {
+	// Overall is the merged-series overall reception rate (every packet
+	// of every run weighted equally, matching the paper's metric).
+	Overall float64 `json:"overall"`
+	// Spread is the per-run dispersion of the overall rate.
+	Spread metrics.Spread `json:"spread"`
+	// Packets counts generated packets across all runs.
+	Packets int `json:"packets"`
+	// Rates are the merged per-bin reception rates.
+	Rates []float64 `json:"rates"`
+	// Attacker aggregates the attacker counters (zero for af arms).
+	Attacker attack.Stats `json:"attacker"`
+}
+
+// PairArtifact is the measured γ/λ of one attack-free/attacked arm pair.
+type PairArtifact struct {
+	Free     string `json:"free"`
+	Attacked string `json:"attacked"`
+	// Drop is γ/λ of the merged series (the headline number).
+	Drop float64 `json:"drop"`
+	// PaperDrop is the paper-reported value (negative when the paper
+	// gives none).
+	PaperDrop float64 `json:"paper_drop"`
+	// DropSpread is the dispersion of the seed-paired per-run drops.
+	DropSpread metrics.Spread `json:"drop_spread"`
+	// AccumDrop is the running drop per bin (Figs 8 and 10).
+	AccumDrop []float64 `json:"accum_drop"`
+}
+
+// FigureArtifact is the per-figure JSON artifact a campaign finalize
+// writes to results/<campaign>/<figureID>.json. geosim -format json emits
+// the same structure for single-figure runs.
+type FigureArtifact struct {
+	ID         string                  `json:"id"`
+	Title      string                  `json:"title"`
+	Runs       int                     `json:"runs"`
+	BinSeconds float64                 `json:"bin_seconds"`
+	Arms       map[string]ArmArtifact  `json:"arms"`
+	Pairs      map[string]PairArtifact `json:"pairs"`
+}
+
+// BuildFigureArtifact converts a FigureResult into the artifact form.
+// Because Figure.Run and the campaign aggregator fold runs in the same
+// canonical seed order, the artifact built here from a direct run is
+// byte-identical to the one a campaign over the same figure finalizes.
+func BuildFigureArtifact(res experiment.FigureResult) FigureArtifact {
+	a := FigureArtifact{
+		ID:         res.Figure.ID,
+		Title:      res.Figure.Title,
+		Runs:       res.Runs,
+		BinSeconds: res.BinWidth.Seconds(),
+		Arms:       make(map[string]ArmArtifact, len(res.Figure.Arms)),
+		Pairs:      make(map[string]PairArtifact, len(res.Figure.Pairs)),
+	}
+	for _, arm := range res.Figure.Arms {
+		a.Arms[arm.Label] = ArmArtifact{
+			Overall:  res.Overall[arm.Label],
+			Spread:   res.ArmSpread[arm.Label],
+			Packets:  res.Packets[arm.Label],
+			Rates:    res.Rates[arm.Label],
+			Attacker: res.Attacker[arm.Label],
+		}
+	}
+	for _, p := range res.Figure.Pairs {
+		a.Pairs[p.Label] = PairArtifact{
+			Free:       p.Free,
+			Attacked:   p.Attacked,
+			Drop:       res.Drops[p.Label],
+			PaperDrop:  p.PaperDrop,
+			DropSpread: res.DropSpread[p.Label],
+			AccumDrop:  res.AccumDrops[p.Label],
+		}
+	}
+	return a
+}
+
+// HazardArmArtifact aggregates one arm of a Figure 12 showcase.
+type HazardArmArtifact struct {
+	// MeanVehicleCount[i] is the mean on-road vehicle count at second i
+	// across seeds.
+	MeanVehicleCount []float64 `json:"mean_vehicle_count"`
+	// GateClosedRuns counts seeds where the entrance learned of the
+	// hazard.
+	GateClosedRuns int `json:"gate_closed_runs"`
+	// MeanGateCloseSeconds is the mean closing time over those runs (0
+	// when the warning never arrived).
+	MeanGateCloseSeconds float64 `json:"mean_gate_close_s"`
+}
+
+// HazardArtifact is the per-showcase artifact for fig12a/fig12b.
+type HazardArtifact struct {
+	ID    string                        `json:"id"`
+	Title string                        `json:"title"`
+	Seeds int                           `json:"seeds"`
+	Arms  map[string]HazardArmArtifact  `json:"arms"`
+}
+
+// CurveArtifact is the fig13 artifact: the attack-free and attacked
+// blind-curve runs side by side.
+type CurveArtifact struct {
+	ID       string               `json:"id"`
+	Title    string               `json:"title"`
+	Free     showcase.CurveResult `json:"free"`
+	Attacked showcase.CurveResult `json:"attacked"`
+}
+
+// BuildCurveArtifact assembles the fig13 artifact.
+func BuildCurveArtifact(free, attacked showcase.CurveResult) CurveArtifact {
+	return CurveArtifact{
+		ID:       curveID,
+		Title:    "Blind-curve collision: speed profiles",
+		Free:     free,
+		Attacked: attacked,
+	}
+}
+
+// TablesArtifact reproduces the paper's configuration tables in machine-
+// readable form (Table I IDM parameters, Table II communication ranges).
+type TablesArtifact struct {
+	IDM    traffic.IDMParams             `json:"idm"`
+	Ranges map[string]map[string]float64 `json:"ranges_m"`
+}
+
+// BuildTablesArtifact assembles the configuration artifact from the same
+// sources that drive the simulation.
+func BuildTablesArtifact() TablesArtifact {
+	ranges := make(map[string]map[string]float64, 2)
+	for _, t := range []struct {
+		name string
+		tech radio.Technology
+	}{{"dsrc", radio.DSRC}, {"cv2x", radio.CV2X}} {
+		ranges[t.name] = map[string]float64{
+			"los_median":  radio.Range(t.tech, radio.LoSMedian),
+			"nlos_median": radio.Range(t.tech, radio.NLoSMedian),
+			"nlos_worst":  radio.Range(t.tech, radio.NLoSWorst),
+		}
+	}
+	return TablesArtifact{IDM: traffic.DefaultIDM(), Ranges: ranges}
+}

@@ -1,0 +1,253 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/vanetsec/georoute/internal/experiment"
+	"github.com/vanetsec/georoute/internal/showcase"
+)
+
+// ErrInterrupted reports that the campaign stopped before completing all
+// cells (context cancellation or a MaxCells budget). Everything finished
+// so far is journaled; rerunning with Resume executes only the remainder.
+var ErrInterrupted = errors.New("campaign interrupted before completion")
+
+// Options tunes a campaign run.
+type Options struct {
+	// ResultsDir is the parent directory; the campaign writes into
+	// <ResultsDir>/<spec.Name>/. Defaults to "results".
+	ResultsDir string
+	// Workers bounds the worker pool (default experiment.MaxParallel()).
+	Workers int
+	// Resume continues an existing journal. Without it, a journal that
+	// already holds cells is an error rather than silently extended.
+	Resume bool
+	// MaxCells stops the run after this many freshly executed cells
+	// (0 = unlimited). Used by tests and the CI smoke job to interrupt a
+	// campaign at a deterministic point.
+	MaxCells int
+	// Progress, when set, is called after every cell (replayed cells are
+	// reported once, up front, with an empty key).
+	Progress func(done, total, replayed int, key string)
+}
+
+// Info summarizes a finished (or interrupted) campaign run.
+type Info struct {
+	// Dir is the campaign's results directory.
+	Dir string
+	// Total is the number of cells the spec enumerates.
+	Total int
+	// Replayed cells were recovered from the journal instead of re-run.
+	Replayed int
+	// Executed cells ran in this process.
+	Executed int
+}
+
+// Run executes the campaign: enumerate cells, replay the journal, shard
+// the missing cells across a bounded worker pool, journal each completion,
+// and finalize the streaming aggregates into per-figure artifacts. On
+// context cancellation it stops dispatching, waits for in-flight cells to
+// finish and be journaled, and returns ErrInterrupted — at most the cells
+// of a hard kill are ever lost.
+func Run(ctx context.Context, sp Spec, opts Options) (Info, error) {
+	if err := sp.Validate(); err != nil {
+		return Info{}, err
+	}
+	if opts.ResultsDir == "" {
+		opts.ResultsDir = "results"
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = experiment.MaxParallel()
+	}
+	dir := filepath.Join(opts.ResultsDir, sp.Name)
+	info := Info{Dir: dir}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return info, fmt.Errorf("campaign: %w", err)
+	}
+
+	journalPath := filepath.Join(dir, "journal.jsonl")
+	if !opts.Resume {
+		if st, err := os.Stat(journalPath); err == nil && st.Size() > 0 {
+			return info, fmt.Errorf("campaign: %s already exists — resume it or remove the directory to start over", journalPath)
+		}
+	}
+	j, replayed, err := OpenJournal(journalPath, sp)
+	if err != nil {
+		return info, err
+	}
+	defer j.Close()
+
+	cells, err := sp.Cells()
+	if err != nil {
+		return info, err
+	}
+	info.Total = len(cells)
+	info.Replayed = len(replayed)
+
+	agg, err := NewAggregator(sp)
+	if err != nil {
+		return info, err
+	}
+	// Feed replayed cells in canonical order (any order aggregates
+	// identically, but canonical order gives deterministic error paths).
+	var todo []Cell
+	for _, c := range cells {
+		if res, ok := replayed[c.Key()]; ok {
+			if err := agg.Feed(c, res); err != nil {
+				return info, err
+			}
+		} else {
+			todo = append(todo, c)
+		}
+	}
+	if opts.Progress != nil {
+		opts.Progress(info.Replayed, info.Total, info.Replayed, "")
+	}
+
+	// Budget for this process: the MaxCells prefix of the canonical
+	// remainder, so interruption points are deterministic under test.
+	interrupted := false
+	dispatch := todo
+	if opts.MaxCells > 0 && opts.MaxCells < len(dispatch) {
+		dispatch = dispatch[:opts.MaxCells]
+		interrupted = true
+	}
+
+	if err := runPool(ctx, sp, dispatch, opts, j, agg, &info); err != nil {
+		return info, err
+	}
+	if ctx.Err() != nil || interrupted {
+		return info, fmt.Errorf("%w: %d/%d cells journaled", ErrInterrupted, info.Replayed+info.Executed, info.Total)
+	}
+	return info, agg.Finalize(dir)
+}
+
+// runPool shards the cells across the worker pool, journaling and
+// aggregating each completion from a single collector loop.
+func runPool(ctx context.Context, sp Spec, dispatch []Cell, opts Options, j *Journal, agg *Aggregator, info *Info) error {
+	if len(dispatch) == 0 {
+		return nil
+	}
+	// A local cancel stops the feeder early when a cell or journal write
+	// fails; the caller's context stays untouched.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workers := opts.Workers
+	if workers > len(dispatch) {
+		workers = len(dispatch)
+	}
+	figs := experiment.Figures()
+
+	type completion struct {
+		cell Cell
+		res  CellResult
+		err  error
+	}
+	jobs := make(chan Cell)
+	results := make(chan completion)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				res, err := runCell(figs, c)
+				results <- completion{cell: c, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		defer close(jobs)
+		for _, c := range dispatch {
+			select {
+			case jobs <- c:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			cancel()
+		}
+	}
+	for d := range results {
+		if d.err != nil {
+			fail(d.err)
+			continue
+		}
+		if firstErr != nil {
+			continue // drain remaining completions without journaling
+		}
+		if err := j.Record(d.cell.Key(), d.res); err != nil {
+			fail(err)
+			continue
+		}
+		if err := agg.Feed(d.cell, d.res); err != nil {
+			fail(err)
+			continue
+		}
+		info.Executed++
+		if opts.Progress != nil {
+			opts.Progress(info.Replayed+info.Executed, info.Total, info.Replayed, d.cell.Key())
+		}
+	}
+	return firstErr
+}
+
+// runCell executes one cell of any kind.
+func runCell(figs map[string]experiment.Figure, c Cell) (CellResult, error) {
+	switch c.Figure {
+	case hazardGFID, hazardCBFID:
+		hc := showcase.CaseGF
+		if c.Figure == hazardCBFID {
+			hc = showcase.CaseCBF
+		}
+		r := showcase.RunHazard(showcase.HazardConfig{Case: hc, Attacked: c.Arm == "atk", Seed: c.Seed})
+		return CellResult{Hazard: &r}, nil
+	case curveID:
+		r := showcase.RunCurve(showcase.CurveConfig{Attacked: c.Arm == "atk", Seed: c.Seed})
+		return CellResult{Curve: &r}, nil
+	}
+	fig, ok := figs[c.Figure]
+	if !ok {
+		return CellResult{}, fmt.Errorf("campaign: cell %s references unknown figure", c.Key())
+	}
+	rr, err := fig.RunCell(experiment.Cell{Figure: c.Figure, Arm: c.Arm, Seed: c.Seed})
+	if err != nil {
+		return CellResult{}, err
+	}
+	return CellResult{Run: &rr}, nil
+}
+
+// RunHazardArtifact runs the Figure 12 showcase directly (outside a
+// campaign) and folds it with the same aggregation the campaign finalize
+// uses, so geosim's direct and campaign outputs agree.
+func RunHazardArtifact(c showcase.HazardCase, seeds int) HazardArtifact {
+	id := hazardGFID
+	if c == showcase.CaseCBF {
+		id = hazardCBFID
+	}
+	arms := map[string]*hazardArmAgg{"af": {}, "atk": {}}
+	for _, arm := range []string{"af", "atk"} {
+		for s := 1; s <= seeds; s++ {
+			r := showcase.RunHazard(showcase.HazardConfig{Case: c, Attacked: arm == "atk", Seed: uint64(s)})
+			arms[arm].feed(&r)
+		}
+	}
+	a := &Aggregator{spec: Spec{HazardSeeds: seeds}, hazard: map[string]map[string]*hazardArmAgg{id: arms}}
+	return a.hazardArtifact(id)
+}

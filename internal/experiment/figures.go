@@ -40,37 +40,80 @@ type Figure struct {
 type FigureResult struct {
 	Figure   Figure
 	BinWidth time.Duration
+	// Runs is the number of seeded repetitions per arm.
+	Runs int
 	// Rates are the per-bin reception rates of each arm.
 	Rates map[string][]float64
 	// Overall is each arm's overall reception rate.
 	Overall map[string]float64
+	// ArmSpread is the per-run dispersion of each arm's overall rate.
+	ArmSpread map[string]metrics.Spread
+	// Packets counts generated packets per arm across all runs.
+	Packets map[string]int
+	// Attacker aggregates the attacker counters per arm (zero for
+	// attack-free arms).
+	Attacker map[string]attack.Stats
 	// Drops are the measured γ/λ per pair label.
 	Drops map[string]float64
+	// DropSpread is the seed-paired per-run dispersion of each pair's
+	// drop rate.
+	DropSpread map[string]metrics.Spread
 	// AccumDrops are the running γ/λ per pair label (Figs 8 and 10).
 	AccumDrops map[string][]float64
 }
 
 // Run executes every arm of the figure with the given number of runs per
-// arm and assembles the result.
+// arm and assembles the result. All arms' seeded runs feed one shared
+// worker pool, so the slowest arm's tail no longer idles the cores that
+// finished faster arms.
 func (f Figure) Run(runs int) FigureResult {
+	if runs <= 0 {
+		runs = 1
+	}
+	perArm := make(map[string][]RunResult, len(f.Arms))
+	var jobs []runJob
+	for _, arm := range f.Arms {
+		out := make([]RunResult, runs)
+		perArm[arm.Label] = out
+		jobs = armJobs(jobs, arm.Scenario, out)
+	}
+	runJobs(jobs)
+
 	res := FigureResult{
 		Figure:     f,
+		Runs:       runs,
 		Rates:      make(map[string][]float64),
 		Overall:    make(map[string]float64),
+		ArmSpread:  make(map[string]metrics.Spread),
+		Packets:    make(map[string]int),
+		Attacker:   make(map[string]attack.Stats),
 		Drops:      make(map[string]float64),
+		DropSpread: make(map[string]metrics.Spread),
 		AccumDrops: make(map[string][]float64),
 	}
+	// Spreads fold per-run series and must run before mergeRuns, which
+	// folds every run into out[0].Series in place.
+	for _, arm := range f.Arms {
+		res.ArmSpread[arm.Label] = armSpread(perArm[arm.Label])
+	}
+	for _, p := range f.Pairs {
+		res.DropSpread[p.Label] = pairedDropSpread(perArm[p.Free], perArm[p.Attacked])
+	}
+
 	series := make(map[string]*metrics.BinSeries, len(f.Arms))
 	for _, arm := range f.Arms {
-		r := RunArm(arm.Scenario, runs)
-		series[arm.Label] = r.Series
+		out := perArm[arm.Label]
+		merged := mergeRuns(out)
+		series[arm.Label] = merged.Series
 		res.BinWidth = arm.Scenario.BinWidth
-		rates := make([]float64, r.Series.Bins())
+		rates := make([]float64, merged.Series.Bins())
 		for i := range rates {
-			rates[i], _ = r.Series.Rate(i)
+			rates[i], _ = merged.Series.Rate(i)
 		}
 		res.Rates[arm.Label] = rates
-		res.Overall[arm.Label] = r.Series.Overall()
+		res.Overall[arm.Label] = merged.Series.Overall()
+		res.Packets[arm.Label] = merged.PacketsSent
+		res.Attacker[arm.Label] = merged.AttackerStats
 	}
 	for _, p := range f.Pairs {
 		free, okF := series[p.Free]

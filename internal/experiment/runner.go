@@ -201,11 +201,11 @@ type runJob struct {
 	out  *RunResult
 }
 
-// runJobs executes every job on maxParallel() workers pulling from one
+// runJobs executes every job on MaxParallel() workers pulling from one
 // shared queue. Jobs are independent seeded runs writing to disjoint
 // result slots, so the output is deterministic regardless of scheduling.
 func runJobs(jobs []runJob) {
-	workers := maxParallel()
+	workers := MaxParallel()
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -258,10 +258,38 @@ func RunArm(s Scenario, runs int) RunResult {
 	return mergeRuns(out)
 }
 
+// armSpread folds each run's overall reception rate into a Welford stream
+// in seed order (the canonical feeding order shared with the campaign
+// aggregator, so both report bit-identical statistics).
+func armSpread(out []RunResult) metrics.Spread {
+	var st metrics.Stream
+	for i := range out {
+		st.Add(out[i].Series.Overall())
+	}
+	return st.Spread()
+}
+
+// pairedDropSpread folds the per-seed-pair drop rates (γ/λ of run i's
+// attack-free series against run i's attacked series) into a spread, again
+// in seed order.
+func pairedDropSpread(free, atk []RunResult) metrics.Spread {
+	var st metrics.Stream
+	n := len(free)
+	if len(atk) < n {
+		n = len(atk)
+	}
+	for i := 0; i < n; i++ {
+		st.Add(metrics.ABResult{Free: free[i].Series, Attacked: atk[i].Series}.DropRate())
+	}
+	return st.Spread()
+}
+
 // RunAB executes the attack-free and attacked arms of a scenario and
-// returns the paired result. Both arms' runs feed one shared worker
-// pool: with 2×runs independent jobs in flight the tail of the first arm
-// no longer idles most cores the way running the arms back-to-back did.
+// returns the paired result, including per-run spread statistics (overall
+// reception per arm and the seed-paired drop rate). Both arms' runs feed
+// one shared worker pool: with 2×runs independent jobs in flight the tail
+// of the first arm no longer idles most cores the way running the arms
+// back-to-back did.
 func RunAB(s Scenario, runs int) metrics.ABResult {
 	if runs <= 0 {
 		runs = 1
@@ -272,10 +300,22 @@ func RunAB(s Scenario, runs int) metrics.ABResult {
 	jobs = armJobs(jobs, s.withoutAttack(), freeOut)
 	jobs = armJobs(jobs, s, atkOut)
 	runJobs(jobs)
-	return metrics.ABResult{Free: mergeRuns(freeOut).Series, Attacked: mergeRuns(atkOut).Series}
+	// Spreads read per-run series and must run before mergeRuns, which
+	// folds every run into the first slot's series in place.
+	res := metrics.ABResult{
+		FreeSpread:     armSpread(freeOut),
+		AttackedSpread: armSpread(atkOut),
+		DropSpread:     pairedDropSpread(freeOut, atkOut),
+	}
+	res.Free = mergeRuns(freeOut).Series
+	res.Attacked = mergeRuns(atkOut).Series
+	return res
 }
 
-func maxParallel() int {
+// MaxParallel reports the worker count used by the shared run pools: one
+// fewer than the CPU count so an interactive shell (or the campaign's
+// journal writer) stays responsive, and never less than one.
+func MaxParallel() int {
 	n := runtime.NumCPU() - 1
 	if n < 1 {
 		n = 1

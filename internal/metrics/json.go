@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// binSeriesJSON is the wire form of a BinSeries. Per-bin sums and counts
+// are stored raw (not as rates) so that a journaled series merges exactly
+// like the in-memory original: float64 values survive a JSON round-trip
+// bit-for-bit via Go's shortest-representation encoding, which is what
+// makes interrupted-and-resumed campaign aggregates byte-identical to
+// uninterrupted ones.
+type binSeriesJSON struct {
+	WidthNS int64     `json:"width_ns"`
+	Sum     []float64 `json:"sum"`
+	N       []int     `json:"n"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s *BinSeries) MarshalJSON() ([]byte, error) {
+	return json.Marshal(binSeriesJSON{WidthNS: int64(s.width), Sum: s.sum, N: s.n})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *BinSeries) UnmarshalJSON(b []byte) error {
+	var w binSeriesJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if w.WidthNS <= 0 {
+		return fmt.Errorf("metrics: bin series with non-positive width %d", w.WidthNS)
+	}
+	if len(w.Sum) != len(w.N) {
+		return fmt.Errorf("metrics: bin series with %d sums but %d counts", len(w.Sum), len(w.N))
+	}
+	if len(w.Sum) == 0 {
+		return fmt.Errorf("metrics: bin series with no bins")
+	}
+	s.width = time.Duration(w.WidthNS)
+	s.sum = w.Sum
+	s.n = w.N
+	return nil
+}

@@ -106,6 +106,18 @@ func (s *BinSeries) Accumulated() []float64 {
 	return out
 }
 
+// Clone returns an independent deep copy of the series.
+func (s *BinSeries) Clone() *BinSeries {
+	c := &BinSeries{
+		width: s.width,
+		sum:   make([]float64, len(s.sum)),
+		n:     make([]int, len(s.n)),
+	}
+	copy(c.sum, s.sum)
+	copy(c.n, s.n)
+	return c
+}
+
 // Merge adds the samples of o into s. The series must be shape-compatible.
 func (s *BinSeries) Merge(o *BinSeries) {
 	if s.width != o.width || len(s.sum) != len(o.sum) {
@@ -123,6 +135,14 @@ func (s *BinSeries) Merge(o *BinSeries) {
 type ABResult struct {
 	Free     *BinSeries
 	Attacked *BinSeries
+
+	// Per-run dispersion, populated by multi-run harnesses (zero values
+	// when the result came from a single merged run): the overall
+	// reception rate of each arm across runs, and the seed-paired drop
+	// rate (γ/λ computed per matched seed before merging).
+	FreeSpread     Spread
+	AttackedSpread Spread
+	DropSpread     Spread
 }
 
 // DropRate is the paper's γ/λ: the average over time bins of the relative
@@ -177,6 +197,9 @@ type Summary struct {
 	FreeRate     float64 // overall attack-free reception rate
 	AttackedRate float64 // overall attacked reception rate
 	Drop         float64 // γ or λ
+	// DropSpread carries the seed-paired per-run drop dispersion when the
+	// result came from a multi-run harness (Runs == 0 otherwise).
+	DropSpread Spread
 }
 
 // Summarize computes the scalar summary.
@@ -185,11 +208,17 @@ func (r ABResult) Summarize() Summary {
 		FreeRate:     r.Free.Overall(),
 		AttackedRate: r.Attacked.Overall(),
 		Drop:         r.DropRate(),
+		DropSpread:   r.DropSpread,
 	}
 }
 
 // String implements fmt.Stringer.
 func (s Summary) String() string {
+	if s.DropSpread.Runs > 1 {
+		return fmt.Sprintf("free=%.1f%% attacked=%.1f%% drop=%.1f%% (per-run σ=%.1f, 95%% CI %.1f–%.1f%%)",
+			100*s.FreeRate, 100*s.AttackedRate, 100*s.Drop,
+			100*s.DropSpread.Stddev, 100*s.DropSpread.CILow, 100*s.DropSpread.CIHigh)
+	}
 	return fmt.Sprintf("free=%.1f%% attacked=%.1f%% drop=%.1f%%",
 		100*s.FreeRate, 100*s.AttackedRate, 100*s.Drop)
 }
