@@ -19,6 +19,12 @@
 //	geosim -campaign campaigns/full-protocol.json
 //	geosim -campaign campaigns/full-protocol.json -resume
 //
+// Both modes accept -trace <dir>: every simulated (figure, arm, seed)
+// cell then also writes its packet-lifecycle trace (strict-schema JSONL,
+// see internal/trace) plus a per-node counter rollup into that
+// directory. geotrace -validate checks any such file for schema and
+// conservation violations.
+//
 // With -runs 100 and the full 200 s duration a figure takes a while; use
 // lower run counts for exploration. Results print to stdout; campaign
 // artifacts land in results/<name>/.
@@ -32,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"syscall"
@@ -52,6 +59,7 @@ func main() {
 		results  = flag.String("results", "results", "parent directory for campaign results")
 		maxCells = flag.Int("max-cells", 0, "stop the campaign after N fresh cells (testing/CI)")
 		workers  = flag.Int("workers", 0, "campaign worker pool size (default: CPUs-1)")
+		traceDir = flag.String("trace", "", "write per-cell packet-lifecycle traces (JSONL + counter rollup) into this directory")
 	)
 	flag.Parse()
 
@@ -60,7 +68,7 @@ func main() {
 		return
 	}
 	if *campPath != "" {
-		os.Exit(runCampaign(*campPath, *results, *resume, *maxCells, *workers))
+		os.Exit(runCampaign(*campPath, *results, *resume, *maxCells, *workers, *traceDir))
 	}
 	if *expID == "" {
 		fmt.Fprintln(os.Stderr, "geosim: pass -experiment <id>, -campaign <spec> or -list")
@@ -73,7 +81,7 @@ func main() {
 		ids = append(ids, "fig12a", "fig12b", "fig13", "tableI", "tableII")
 	}
 	for _, id := range ids {
-		if err := runExperiment(id, *runs, *format, *seeds); err != nil {
+		if err := runExperiment(id, *runs, *format, *seeds, *traceDir); err != nil {
 			fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
 			os.Exit(1)
 		}
@@ -98,7 +106,7 @@ func printList() {
 
 // runCampaign executes a campaign spec and reports progress on stderr.
 // Exit codes: 0 complete, 1 error, 3 interrupted (resume with -resume).
-func runCampaign(specPath, resultsDir string, resume bool, maxCells, workers int) int {
+func runCampaign(specPath, resultsDir string, resume bool, maxCells, workers int, traceDir string) int {
 	sp, err := georoute.LoadCampaignSpec(specPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
@@ -114,6 +122,7 @@ func runCampaign(specPath, resultsDir string, resume bool, maxCells, workers int
 		Resume:     resume,
 		MaxCells:   maxCells,
 		Workers:    workers,
+		TraceDir:   traceDir,
 		Progress: func(done, total, replayed int, key string) {
 			if key == "" {
 				if replayed > 0 {
@@ -152,7 +161,7 @@ func printJSON(v any) error {
 	return nil
 }
 
-func runExperiment(id string, runs int, format string, showcaseSeeds int) error {
+func runExperiment(id string, runs int, format string, showcaseSeeds int, traceDir string) error {
 	switch id {
 	case "tableI":
 		if format == "json" {
@@ -178,12 +187,18 @@ func runExperiment(id string, runs int, format string, showcaseSeeds int) error 
 		return fmt.Errorf("unknown experiment %q (try -list)", id)
 	}
 	if format == "json" {
-		res := fig.Run(runs)
+		res, err := runFigure(fig, runs, traceDir)
+		if err != nil {
+			return err
+		}
 		return printJSON(georoute.BuildFigureArtifact(res))
 	}
 	fmt.Printf("== %s: %s (%d runs/arm) ==\n", fig.ID, fig.Title, runs)
 	start := time.Now()
-	res := fig.Run(runs)
+	res, err := runFigure(fig, runs, traceDir)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("-- completed in %v --\n", time.Since(start).Round(time.Second))
 
 	fmt.Println("\nPer-bin reception rates:")
@@ -223,6 +238,26 @@ func runExperiment(id string, runs int, format string, showcaseSeeds int) error 
 	}
 	fmt.Println()
 	return nil
+}
+
+// runFigure executes a figure, optionally writing one trace artifact pair
+// (<figure>__<arm>__<seed>.jsonl + .counters.json) per cell into traceDir.
+func runFigure(fig georoute.Figure, runs int, traceDir string) (georoute.FigureResult, error) {
+	if traceDir == "" {
+		return fig.Run(runs), nil
+	}
+	if err := os.MkdirAll(traceDir, 0o755); err != nil {
+		return georoute.FigureResult{}, err
+	}
+	hook := func(c georoute.ExperimentCell) (*georoute.Tracer, func() error, error) {
+		name := fmt.Sprintf("%s__%s__%d.jsonl", c.Figure, c.Arm, c.Seed)
+		ft, err := georoute.NewFileTracer(filepath.Join(traceDir, name))
+		if err != nil {
+			return nil, nil, err
+		}
+		return ft.Tracer(), ft.Close, nil
+	}
+	return fig.RunTraced(runs, hook)
 }
 
 // spreadSuffix renders per-run dispersion when there was more than one

@@ -1,11 +1,20 @@
-// Command geotrace runs a single seeded simulation and dumps a
-// packet-level trace of every GeoNetworking frame on the air — the tool
-// we use to inspect forwarding paths, attack replays, and losses.
+// Command geotrace inspects packet lifecycles. It has two modes:
 //
-// Usage:
+// Run mode executes a single seeded simulation with the lifecycle tracer
+// (internal/trace) threaded through the radio medium, every router stack,
+// and the attacker, then prints each event, the reconstructed per-packet
+// hop chains, and the conservation check — every traced packet copy must
+// balance as delivered + dropped + buffered + armed:
 //
 //	geotrace -duration 30s -packets 3
 //	geotrace -attack inter-area -range 486 -duration 60s
+//	geotrace -workload intra-area -attack intra-area -jsonl run.jsonl
+//
+// Validate mode strict-decodes an existing JSONL trace (for example one
+// written by `geosim -trace`), re-runs the analyzer, and fails on schema
+// or conservation violations. CI runs it over every trace artifact:
+//
+//	geotrace -validate results/smoke/traces/fig7a__af_wN__1.jsonl
 package main
 
 import (
@@ -18,7 +27,7 @@ import (
 	"github.com/vanetsec/georoute/internal/attack"
 	"github.com/vanetsec/georoute/internal/geo"
 	"github.com/vanetsec/georoute/internal/geonet"
-	"github.com/vanetsec/georoute/internal/radio"
+	"github.com/vanetsec/georoute/internal/trace"
 	"github.com/vanetsec/georoute/internal/traffic"
 	"github.com/vanetsec/georoute/internal/vanet"
 )
@@ -31,95 +40,157 @@ func main() {
 		atkMode  = flag.String("attack", "none", "none, inter-area, or intra-area")
 		atkRange = flag.Float64("range", 486, "attack range in meters")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
-		beacons  = flag.Bool("beacons", false, "include beacons in the trace")
+		beacons  = flag.Bool("beacons", false, "include beacon events in the printed trace")
+		jsonl    = flag.String("jsonl", "", "also write the raw trace to this JSONL file (plus a .counters.json rollup)")
+		quiet    = flag.Bool("quiet", false, "suppress the per-event lines, print only the analysis")
+		validate = flag.String("validate", "", "validate an existing JSONL trace file and exit")
 	)
 	flag.Parse()
 
+	if *validate != "" {
+		os.Exit(runValidate(*validate))
+	}
+	os.Exit(runTrace(*duration, *packets, *workload, *atkMode, *atkRange, *seed, *beacons, *jsonl, *quiet))
+}
+
+// runValidate strict-decodes a JSONL trace and re-runs the conservation
+// analysis. Exit 0 only when the file parses record for record and every
+// packet chain balances.
+func runValidate(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geotrace: %v\n", err)
+		return 1
+	}
+	defer f.Close()
+	recs, err := trace.ReadJSONL(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geotrace: %s: %v\n", path, err)
+		return 1
+	}
+	an := trace.Analyze(recs)
+	if v := an.Violations(); len(v) > 0 {
+		fmt.Fprintf(os.Stderr, "geotrace: %s: %d conservation violations:\n", path, len(v))
+		for _, s := range v {
+			fmt.Fprintf(os.Stderr, "  %s\n", s)
+		}
+		return 1
+	}
+	fmt.Printf("%s: %d records, %d chains, %d delivered — conservation OK\n",
+		path, an.Records, len(an.Chains), an.Delivered())
+	return 0
+}
+
+func runTrace(duration time.Duration, packets int, workload, atkMode string, atkRange float64, seed uint64, beacons bool, jsonlPath string, quiet bool) int {
+	mem := &trace.MemorySink{}
+	sinks := []trace.Sink{mem}
+	if !quiet {
+		sinks = append(sinks, printSink(beacons))
+	}
+	var ft *trace.FileTracer
+	if jsonlPath != "" {
+		var err error
+		ft, err = trace.NewFileTracer(jsonlPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "geotrace: %v\n", err)
+			return 1
+		}
+		// Reuse the file bundle's sinks inside the one shared tracer.
+		sinks = append(sinks, trace.FuncSink(func(r trace.Record) { ft.Tracer().Emit(r) }))
+	}
+	tr := trace.New(sinks...)
+
 	var w *vanet.World
-	tap := &tracer{beacons: *beacons, world: &w}
 	w = vanet.New(vanet.Config{
-		Seed:        *seed,
+		Seed:        seed,
 		Road:        traffic.RoadConfig{Length: 4000, LanesPerDirection: 2},
 		SpawnGap:    30,
 		Prepopulate: true,
+		Tracer:      tr,
 		OnDeliver: func(addr geonet.Address, p *geonet.Packet) {
-			fmt.Printf("%-12s DELIVER    node %d got %v/%d\n",
+			if quiet {
+				return
+			}
+			fmt.Printf("%-12s UPPER      node %d got %v/%d\n",
 				w.Engine.Now().Round(time.Microsecond), addr, p.SourcePV.Addr, p.SN)
 		},
 	})
-	omni := w.Medium.Attach(999999, 1, func() geo.Point { return geo.Pt(2000, 50) }, tap, true)
-	omni.SetRxRange(1e9)
 	w.AddStatic(vanet.WestDestAddr, geo.Pt(-20, 0), 0)
 	w.AddStatic(vanet.EastDestAddr, geo.Pt(4020, 0), 0)
 
-	switch *atkMode {
+	switch atkMode {
 	case "none":
 	case "inter-area", "intra-area":
 		mode := attack.InterArea
-		if *atkMode == "intra-area" {
+		if atkMode == "intra-area" {
 			mode = attack.IntraArea
 		}
 		attack.NewAttacker(attack.Config{
 			Engine:   w.Engine,
 			Medium:   w.Medium,
 			Position: geo.Pt(2000, -2.5),
-			Range:    *atkRange,
+			Range:    atkRange,
 			Mode:     mode,
+			Tracer:   tr,
 		})
 	default:
-		fmt.Fprintf(os.Stderr, "geotrace: unknown attack mode %q\n", *atkMode)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "geotrace: unknown attack mode %q\n", atkMode)
+		return 2
 	}
 
 	// Let beacons settle, then inject packets from mid-road vehicles.
 	w.Engine.ScheduleAt(10*time.Second, "inject", func() {
 		vs := w.Vehicles()
-		for i := 0; i < *packets && i < len(vs); i++ {
+		for i := 0; i < packets && i < len(vs); i++ {
 			src := vs[len(vs)/2+i]
 			r := w.RouterOf(src)
-			switch *workload {
+			switch workload {
 			case "intra-area":
 				area := georoute.NewRect(georoute.Pt(2000, 0), 2000, 30, 90)
-				key := r.SendGeoBroadcast(area, nil)
-				fmt.Printf("%-12s INJECT     GBC %v/%d from x=%.0f\n",
-					w.Engine.Now().Round(time.Microsecond), key.Src, key.SN, src.X())
+				r.SendGeoBroadcast(area, nil)
 			default:
-				key := r.SendGeoUnicast(vanet.EastDestAddr, geo.Pt(4020, 0), nil)
-				fmt.Printf("%-12s INJECT     GUC %v/%d from x=%.0f toward east destination\n",
-					w.Engine.Now().Round(time.Microsecond), key.Src, key.SN, src.X())
+				r.SendGeoUnicast(vanet.EastDestAddr, geo.Pt(4020, 0), nil)
 			}
 		}
 	})
 
-	w.Run(*duration)
-	fmt.Printf("\n%d frames traced, medium stats: %+v\n", tap.frames, w.Medium.Stats())
+	w.Run(duration)
+
+	if ft != nil {
+		if err := ft.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "geotrace: %v\n", err)
+			return 1
+		}
+	}
+
+	an := trace.Analyze(mem.Records)
+	fmt.Println()
+	fmt.Print(an.Summary())
+	fmt.Printf("\nmedium stats: %+v\n", w.Medium.Stats())
+	fmt.Printf("protocol stats: %+v\n", w.ProtocolStats())
+	if len(an.Violations()) > 0 {
+		return 1
+	}
+	return 0
 }
 
-// tracer prints one line per frame on the air.
-type tracer struct {
-	beacons bool
-	frames  int
-	world   **vanet.World
-}
-
-func (t *tracer) Deliver(f radio.Frame)  { t.frame(f) }
-func (t *tracer) Overhear(f radio.Frame) { t.frame(f) }
-
-func (t *tracer) frame(f radio.Frame) {
-	p, err := geonet.Unmarshal(f.Payload)
-	if err != nil {
-		return
+// printSink renders one aligned line per record.
+func printSink(beacons bool) trace.FuncSink {
+	return func(r trace.Record) {
+		if r.PType == trace.PTBeacon && !beacons {
+			return
+		}
+		detail := ""
+		if r.Kind != trace.KindNone {
+			detail += " kind=" + r.Kind.String()
+		}
+		if r.Reason != trace.ReasonNone {
+			detail += " reason=" + r.Reason.String()
+		}
+		if r.Peer != 0 {
+			detail += fmt.Sprintf(" peer=%d", r.Peer)
+		}
+		fmt.Printf("%-12s %-12s node=%-6d %s %d/%d rhl=%d%s\n",
+			r.At.Round(time.Microsecond), r.Event, r.Node, r.PType, r.Src, r.SN, r.RHL, detail)
 	}
-	if p.Type == geonet.TypeBeacon && !t.beacons {
-		return
-	}
-	t.frames++
-	w := *t.world
-	to := "broadcast"
-	if !f.IsBroadcast() {
-		to = fmt.Sprintf("-> %d", f.To)
-	}
-	fmt.Printf("%-12s %-10s from %d @(%.0f,%.0f) %s rhl=%d key=%v/%d\n",
-		w.Engine.Now().Round(time.Microsecond), p.Type, f.From,
-		f.TxPos.X, f.TxPos.Y, to, p.Basic.RHL, p.SourcePV.Addr, p.SN)
 }

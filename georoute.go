@@ -44,6 +44,7 @@ import (
 	"github.com/vanetsec/georoute/internal/mitigation"
 	"github.com/vanetsec/georoute/internal/radio"
 	"github.com/vanetsec/georoute/internal/showcase"
+	"github.com/vanetsec/georoute/internal/trace"
 	"github.com/vanetsec/georoute/internal/traffic"
 	"github.com/vanetsec/georoute/internal/vanet"
 )
@@ -200,6 +201,59 @@ func Figures() map[string]Figure { return experiment.Figures() }
 
 // FigureIDs returns the registry keys in sorted order.
 func FigureIDs() []string { return experiment.FigureIDs() }
+
+// Tracing --------------------------------------------------------------------
+//
+// The lifecycle tracer (internal/trace) observes every packet event —
+// originate, TX, RX, deliver, every categorized drop, CBF arm/cancel,
+// GF buffering, unicast losses, attacker captures and replays — without
+// changing simulated outcomes. A nil tracer costs nothing on the hot
+// receive path.
+
+// Tracer fans packet-lifecycle records out to its sinks.
+type Tracer = trace.Tracer
+
+// TraceRecord is one typed lifecycle event.
+type TraceRecord = trace.Record
+
+// TraceSink consumes lifecycle records.
+type TraceSink = trace.Sink
+
+// TraceMemorySink buffers records in memory (tests, post-run analysis).
+type TraceMemorySink = trace.MemorySink
+
+// TraceCounters is the per-node event and drop-reason counter registry.
+type TraceCounters = trace.Counters
+
+// FileTracer writes a JSONL trace plus a counter-rollup artifact.
+type FileTracer = trace.FileTracer
+
+// TraceAnalysis is the post-hoc per-packet chain reconstruction with the
+// conservation check (delivered + dropped + buffered + armed per intake).
+type TraceAnalysis = trace.Analysis
+
+// NewTracer builds a tracer over the given sinks (nil when none).
+func NewTracer(sinks ...TraceSink) *Tracer { return trace.New(sinks...) }
+
+// NewFileTracer opens a JSONL trace file; Close writes the counter
+// rollup next to it.
+func NewFileTracer(path string) (*FileTracer, error) { return trace.NewFileTracer(path) }
+
+// AnalyzeTrace reconstructs per-packet hop chains from records and runs
+// the conservation check.
+func AnalyzeTrace(recs []TraceRecord) *TraceAnalysis { return trace.Analyze(recs) }
+
+// RunOnceTraced is RunOnce with a lifecycle tracer threaded through the
+// radio medium, every router, and the attacker.
+func RunOnceTraced(s Scenario, seed uint64, tr *Tracer) experiment.RunResult {
+	return experiment.RunOnceTraced(s, seed, tr)
+}
+
+// TraceHook provisions a per-cell tracer for Figure.RunTraced.
+type TraceHook = experiment.TraceHook
+
+// ExperimentCell identifies one (figure, arm, seed) run unit.
+type ExperimentCell = experiment.Cell
 
 // Campaigns ------------------------------------------------------------------
 //

@@ -27,6 +27,7 @@ import (
 	"github.com/vanetsec/georoute/internal/geonet"
 	"github.com/vanetsec/georoute/internal/radio"
 	"github.com/vanetsec/georoute/internal/sim"
+	"github.com/vanetsec/georoute/internal/trace"
 )
 
 // Type selects the attack behavior.
@@ -109,6 +110,8 @@ type Config struct {
 	ProcessingDelay time.Duration
 	// Mode selects the attack.
 	Mode Type
+	// Tracer, when non-nil, records each fresh capture and each replay.
+	Tracer *trace.Tracer
 }
 
 // Attacker is the roadside adversary. Construct with NewAttacker; it
@@ -207,6 +210,38 @@ func (a *Attacker) sniff(f radio.Frame) {
 	}
 }
 
+// emit records a fresh capture (dedupe already passed).
+func (a *Attacker) emit(ev trace.Event, p *geonet.Packet) {
+	if a.cfg.Tracer == nil {
+		return
+	}
+	a.cfg.Tracer.Emit(trace.Record{
+		At:    a.cfg.Engine.Now(),
+		Node:  uint64(a.cfg.Pseudonym),
+		Src:   uint64(p.SourcePV.Addr),
+		SN:    p.SN,
+		Event: ev,
+		PType: trace.PType(p.Type),
+		RHL:   p.Basic.RHL,
+	})
+}
+
+// emitReplay records a replay transmission at fire time.
+func (a *Attacker) emitReplay(src geonet.Address, sn uint16, pt trace.PType, rhl uint8) {
+	if a.cfg.Tracer == nil {
+		return
+	}
+	a.cfg.Tracer.Emit(trace.Record{
+		At:    a.cfg.Engine.Now(),
+		Node:  uint64(a.cfg.Pseudonym),
+		Src:   uint64(src),
+		SN:    sn,
+		Event: trace.EvReplay,
+		PType: pt,
+		RHL:   rhl,
+	})
+}
+
 // captureBeacon relays a captured beacon verbatim. The signed position
 // vector is untouched, so receivers accept it; only the link-layer sender
 // changes (to the attacker's pseudonym), which nothing checks.
@@ -217,9 +252,11 @@ func (a *Attacker) captureBeacon(p *geonet.Packet, f radio.Frame) {
 		return
 	}
 	a.beaconSeen[k] = true
+	a.emit(trace.EvCapture, p)
 	// The frame's payload buffer is recycled after this delivery walk, so
 	// the capture must copy it — into a pooled buffer the replay returns.
 	payload := append(a.cfg.Medium.GrabPayload(), f.Payload...)
+	src := p.SourcePV.Addr
 	a.cfg.Engine.Schedule(a.cfg.ProcessingDelay, "attack.replayBeacon", func() {
 		if a.stopped {
 			// The pooled buffer is simply dropped to the GC; stop is rare.
@@ -227,6 +264,7 @@ func (a *Attacker) captureBeacon(p *geonet.Packet, f radio.Frame) {
 		}
 		a.stats.BeaconsReplayed++
 		a.cfg.Medium.SendPooled(a.antenna, radio.BroadcastID, payload)
+		a.emitReplay(src, 0, trace.PTBeacon, 1)
 	})
 }
 
@@ -241,6 +279,7 @@ func (a *Attacker) capturePacket(p *geonet.Packet) {
 		return
 	}
 	a.pktSeen[k] = true
+	a.emit(trace.EvCapture, p)
 	// Fork, not Clone: the attack rewrites only the unprotected basic
 	// header, so the replay shares the captured packet's protected bytes.
 	out := p.Fork()
@@ -252,6 +291,7 @@ func (a *Attacker) capturePacket(p *geonet.Packet) {
 			return
 		}
 		a.stats.PacketsReplayed++
+		a.emitReplay(out.SourcePV.Addr, out.SN, trace.PType(out.Type), out.Basic.RHL)
 		payload := out.AppendMarshal(a.cfg.Medium.GrabPayload())
 		if a.cfg.ReplayRange > 0 {
 			prev := a.antenna.Range()

@@ -10,6 +10,7 @@ import (
 
 	"github.com/vanetsec/georoute/internal/attack"
 	"github.com/vanetsec/georoute/internal/experiment"
+	"github.com/vanetsec/georoute/internal/geonet"
 	"github.com/vanetsec/georoute/internal/metrics"
 	"github.com/vanetsec/georoute/internal/showcase"
 )
@@ -43,6 +44,7 @@ type armAgg struct {
 	merged   *metrics.BinSeries
 	packets  int
 	atkStats attack.Stats
+	proto    geonet.Stats
 	overall  metrics.Stream
 }
 
@@ -189,6 +191,7 @@ func (g *armAgg) feed(idx int, r *experiment.RunResult) {
 		}
 		g.packets += r.PacketsSent
 		g.atkStats.Add(r.AttackerStats)
+		g.proto.Add(r.Protocol)
 	}
 }
 
@@ -260,6 +263,7 @@ func (a *Aggregator) figureResult(id string) experiment.FigureResult {
 		Drops:      make(map[string]float64),
 		DropSpread: make(map[string]metrics.Spread),
 		AccumDrops: make(map[string][]float64),
+		Protocol:   make(map[string]geonet.Stats),
 	}
 	merged := make(map[string]*metrics.BinSeries, len(fig.Arms))
 	for _, arm := range fig.Arms {
@@ -275,6 +279,7 @@ func (a *Aggregator) figureResult(id string) experiment.FigureResult {
 		res.Overall[arm.Label] = g.merged.Overall()
 		res.Packets[arm.Label] = g.packets
 		res.Attacker[arm.Label] = g.atkStats
+		res.Protocol[arm.Label] = g.proto
 	}
 	for _, p := range fig.Pairs {
 		ab := metrics.ABResult{Free: merged[p.Free], Attacked: merged[p.Attacked]}

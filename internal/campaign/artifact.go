@@ -3,6 +3,7 @@ package campaign
 import (
 	"github.com/vanetsec/georoute/internal/attack"
 	"github.com/vanetsec/georoute/internal/experiment"
+	"github.com/vanetsec/georoute/internal/geonet"
 	"github.com/vanetsec/georoute/internal/metrics"
 	"github.com/vanetsec/georoute/internal/radio"
 	"github.com/vanetsec/georoute/internal/showcase"
@@ -22,6 +23,10 @@ type ArmArtifact struct {
 	Rates []float64 `json:"rates"`
 	// Attacker aggregates the attacker counters (zero for af arms).
 	Attacker attack.Stats `json:"attacker"`
+	// Protocol aggregates the GeoNetworking counters of every router
+	// across all the arm's runs — the per-reason drop rollup of the
+	// conservation-checked taxonomy (see internal/trace).
+	Protocol geonet.Stats `json:"protocol"`
 }
 
 // PairArtifact is the measured γ/λ of one attack-free/attacked arm pair.
@@ -71,6 +76,7 @@ func BuildFigureArtifact(res experiment.FigureResult) FigureArtifact {
 			Packets:  res.Packets[arm.Label],
 			Rates:    res.Rates[arm.Label],
 			Attacker: res.Attacker[arm.Label],
+			Protocol: res.Protocol[arm.Label],
 		}
 	}
 	for _, p := range res.Figure.Pairs {
@@ -101,10 +107,10 @@ type HazardArmArtifact struct {
 
 // HazardArtifact is the per-showcase artifact for fig12a/fig12b.
 type HazardArtifact struct {
-	ID    string                        `json:"id"`
-	Title string                        `json:"title"`
-	Seeds int                           `json:"seeds"`
-	Arms  map[string]HazardArmArtifact  `json:"arms"`
+	ID    string                       `json:"id"`
+	Title string                       `json:"title"`
+	Seeds int                          `json:"seeds"`
+	Arms  map[string]HazardArmArtifact `json:"arms"`
 }
 
 // CurveArtifact is the fig13 artifact: the attack-free and attacked

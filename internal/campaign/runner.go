@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"github.com/vanetsec/georoute/internal/experiment"
 	"github.com/vanetsec/georoute/internal/showcase"
+	"github.com/vanetsec/georoute/internal/trace"
 )
 
 // ErrInterrupted reports that the campaign stopped before completing all
@@ -31,6 +33,13 @@ type Options struct {
 	// (0 = unlimited). Used by tests and the CI smoke job to interrupt a
 	// campaign at a deterministic point.
 	MaxCells int
+	// TraceDir, when set, threads a packet-lifecycle tracer through every
+	// figure cell executed in this process and writes one
+	// <cellkey>.jsonl + <cellkey>.counters.json pair per cell into the
+	// directory ('/' in keys becomes "__"). Tracing never changes the
+	// simulated outcome, only observes it; replayed (journaled) cells are
+	// not re-traced. Showcase cells (fig12/fig13) are not traced.
+	TraceDir string
 	// Progress, when set, is called after every cell (replayed cells are
 	// reported once, up front, with an empty key).
 	Progress func(done, total, replayed int, key string)
@@ -68,6 +77,11 @@ func Run(ctx context.Context, sp Spec, opts Options) (Info, error) {
 	info := Info{Dir: dir}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return info, fmt.Errorf("campaign: %w", err)
+	}
+	if opts.TraceDir != "" {
+		if err := os.MkdirAll(opts.TraceDir, 0o755); err != nil {
+			return info, fmt.Errorf("campaign: %w", err)
+		}
 	}
 
 	journalPath := filepath.Join(dir, "journal.jsonl")
@@ -157,7 +171,7 @@ func runPool(ctx context.Context, sp Spec, dispatch []Cell, opts Options, j *Jou
 		go func() {
 			defer wg.Done()
 			for c := range jobs {
-				res, err := runCell(figs, c)
+				res, err := runCell(figs, c, opts.TraceDir)
 				results <- completion{cell: c, res: res, err: err}
 			}
 		}()
@@ -208,8 +222,10 @@ func runPool(ctx context.Context, sp Spec, dispatch []Cell, opts Options, j *Jou
 	return firstErr
 }
 
-// runCell executes one cell of any kind.
-func runCell(figs map[string]experiment.Figure, c Cell) (CellResult, error) {
+// runCell executes one cell of any kind. When traceDir is non-empty,
+// figure cells run with a per-cell file tracer writing a JSONL stream and
+// counter rollup named after the cell key.
+func runCell(figs map[string]experiment.Figure, c Cell, traceDir string) (CellResult, error) {
 	switch c.Figure {
 	case hazardGFID, hazardCBFID:
 		hc := showcase.CaseGF
@@ -226,7 +242,21 @@ func runCell(figs map[string]experiment.Figure, c Cell) (CellResult, error) {
 	if !ok {
 		return CellResult{}, fmt.Errorf("campaign: cell %s references unknown figure", c.Key())
 	}
-	rr, err := fig.RunCell(experiment.Cell{Figure: c.Figure, Arm: c.Arm, Seed: c.Seed})
+	var ft *trace.FileTracer
+	if traceDir != "" {
+		name := strings.ReplaceAll(c.Key(), "/", "__") + ".jsonl"
+		var err error
+		ft, err = trace.NewFileTracer(filepath.Join(traceDir, name))
+		if err != nil {
+			return CellResult{}, err
+		}
+	}
+	rr, err := fig.RunCellTraced(experiment.Cell{Figure: c.Figure, Arm: c.Arm, Seed: c.Seed}, ft.Tracer())
+	if ft != nil {
+		if cerr := ft.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	if err != nil {
 		return CellResult{}, err
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"github.com/vanetsec/georoute/internal/trace"
 )
 
 // Cell identifies one independently runnable unit of an experiment sweep:
@@ -68,6 +70,12 @@ func (f Figure) Cells(runs int) []Cell {
 
 // RunCell executes one cell of the figure.
 func (f Figure) RunCell(c Cell) (RunResult, error) {
+	return f.RunCellTraced(c, nil)
+}
+
+// RunCellTraced executes one cell with a lifecycle tracer threaded through
+// the run (nil behaves exactly like RunCell).
+func (f Figure) RunCellTraced(c Cell, tr *trace.Tracer) (RunResult, error) {
 	if c.Figure != f.ID {
 		return RunResult{}, fmt.Errorf("experiment: cell %s run against figure %s", c.Key(), f.ID)
 	}
@@ -75,7 +83,7 @@ func (f Figure) RunCell(c Cell) (RunResult, error) {
 	if !ok {
 		return RunResult{}, fmt.Errorf("experiment: cell %s references unknown arm", c.Key())
 	}
-	return RunOnce(s, c.Seed), nil
+	return RunOnceTraced(s, c.Seed, tr), nil
 }
 
 // RunIndex converts a cell's absolute seed back to its 0-based run index

@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/attack"
+	"github.com/vanetsec/georoute/internal/trace"
+)
+
+// analyzeRun executes one traced run and returns the reconstructed
+// lifecycle analysis of every packet it produced.
+func analyzeRun(s Scenario, seed uint64) *trace.Analysis {
+	mem := &trace.MemorySink{}
+	RunOnceTraced(s, seed, trace.New(mem))
+	return trace.Analyze(mem.Records)
+}
+
+// TestFig7aConservationAllSeeds runs the Fig. 7a baseline/attack pair for
+// several seeds and asserts the conservation invariant on each: every
+// copy of every injected packet is accounted for as delivered, forwarded,
+// dropped with a reason, lost in the medium, or still held at the end.
+func TestFig7aConservationAllSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario runs")
+	}
+	s := fig7aScenario()
+	s.Duration = 20 * time.Second
+	s.Drain = 10 * time.Second
+	arms := []struct {
+		label string
+		s     Scenario
+	}{
+		{"free", s.withoutAttack()},
+		{"attacked", s},
+	}
+	for _, arm := range arms {
+		for seed := uint64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", arm.label, seed), func(t *testing.T) {
+				an := analyzeRun(arm.s, seed)
+				if an.Records == 0 || len(an.Chains) == 0 {
+					t.Fatalf("empty trace: %d records, %d chains", an.Records, len(an.Chains))
+				}
+				if v := an.Violations(); len(v) > 0 {
+					t.Errorf("%d conservation violations:\n", len(v))
+					for _, s := range v {
+						t.Errorf("  %s", s)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestIntraAreaConservation covers the broadcast/CBF path: GBC chains with
+// contention arming, cancellation, and refloods must balance too, both
+// attack-free and under the intra-area replay attack.
+func TestIntraAreaConservation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario runs")
+	}
+	s := Default()
+	s.Workload = IntraArea
+	s.Duration = 10 * time.Second
+	s.Drain = 5 * time.Second
+	for _, arm := range []struct {
+		label string
+		s     Scenario
+	}{
+		{"free", s},
+		{"attacked", s.withAttack(attack.IntraArea)},
+	} {
+		t.Run(arm.label, func(t *testing.T) {
+			an := analyzeRun(arm.s, 1)
+			if an.Records == 0 || len(an.Chains) == 0 {
+				t.Fatalf("empty trace: %d records, %d chains", an.Records, len(an.Chains))
+			}
+			if v := an.Violations(); len(v) > 0 {
+				t.Errorf("%d conservation violations:\n", len(v))
+				for _, s := range v {
+					t.Errorf("  %s", s)
+				}
+			}
+		})
+	}
+}
+
+// TestFig7aGoldenBitIdenticalTraced re-runs the golden Fig. 7a seed with
+// the tracer attached and asserts the BinSeries is bit-identical to the
+// untraced baseline: observation must not perturb the simulation. The
+// same records must also satisfy conservation at full scale.
+func TestFig7aGoldenBitIdenticalTraced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario run")
+	}
+	mem := &trace.MemorySink{}
+	got := serializeResult(RunOnceTraced(fig7aScenario(), 42, trace.New(mem)))
+	if got != fig7aGolden {
+		t.Errorf("traced Fig. 7a diverged from the untraced golden:\ngot:\n%s\nwant:\n%s", got, fig7aGolden)
+	}
+	an := trace.Analyze(mem.Records)
+	if v := an.Violations(); len(v) > 0 {
+		t.Errorf("%d conservation violations at benchmark scale:", len(v))
+		for _, s := range v {
+			t.Errorf("  %s", s)
+		}
+	}
+}

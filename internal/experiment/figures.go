@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"github.com/vanetsec/georoute/internal/attack"
+	"github.com/vanetsec/georoute/internal/geonet"
 	"github.com/vanetsec/georoute/internal/metrics"
 	"github.com/vanetsec/georoute/internal/radio"
+	"github.com/vanetsec/georoute/internal/trace"
 )
 
 // Arm is one named scenario inside a figure.
@@ -60,13 +62,35 @@ type FigureResult struct {
 	DropSpread map[string]metrics.Spread
 	// AccumDrops are the running γ/λ per pair label (Figs 8 and 10).
 	AccumDrops map[string][]float64
+	// Protocol aggregates the GeoNetworking counters per arm across all
+	// runs — the per-reason drop rollup of the whole arm.
+	Protocol map[string]geonet.Stats
 }
+
+// TraceHook provisions a per-cell tracer for traced figure runs. It
+// returns the tracer to thread through the cell's run and a finalizer
+// executed right after the run completes (typically flushing a per-cell
+// JSONL file). Either return may be nil.
+type TraceHook func(c Cell) (*trace.Tracer, func() error, error)
 
 // Run executes every arm of the figure with the given number of runs per
 // arm and assembles the result. All arms' seeded runs feed one shared
 // worker pool, so the slowest arm's tail no longer idles the cores that
 // finished faster arms.
 func (f Figure) Run(runs int) FigureResult {
+	res, err := f.RunTraced(runs, nil)
+	if err != nil {
+		// Unreachable: errors only originate from the hook's provisioning
+		// and finalizers.
+		panic(err)
+	}
+	return res
+}
+
+// RunTraced is Run with a per-cell trace hook. A nil hook behaves exactly
+// like Run; a non-nil hook is consulted once per (arm, seed) cell before
+// the runs are dispatched to the shared pool.
+func (f Figure) RunTraced(runs int, hook TraceHook) (FigureResult, error) {
 	if runs <= 0 {
 		runs = 1
 	}
@@ -75,9 +99,21 @@ func (f Figure) Run(runs int) FigureResult {
 	for _, arm := range f.Arms {
 		out := make([]RunResult, runs)
 		perArm[arm.Label] = out
-		jobs = armJobs(jobs, arm.Scenario, out)
+		for i := range out {
+			j := runJob{s: arm.Scenario, seed: arm.Scenario.Seed + uint64(i), out: &out[i]}
+			if hook != nil {
+				tr, done, err := hook(Cell{Figure: f.ID, Arm: arm.Label, Seed: j.seed})
+				if err != nil {
+					return FigureResult{}, err
+				}
+				j.tr, j.done = tr, done
+			}
+			jobs = append(jobs, j)
+		}
 	}
-	runJobs(jobs)
+	if err := runJobs(jobs); err != nil {
+		return FigureResult{}, err
+	}
 
 	res := FigureResult{
 		Figure:     f,
@@ -90,6 +126,7 @@ func (f Figure) Run(runs int) FigureResult {
 		Drops:      make(map[string]float64),
 		DropSpread: make(map[string]metrics.Spread),
 		AccumDrops: make(map[string][]float64),
+		Protocol:   make(map[string]geonet.Stats),
 	}
 	// Spreads fold per-run series and must run before mergeRuns, which
 	// folds every run into out[0].Series in place.
@@ -114,6 +151,7 @@ func (f Figure) Run(runs int) FigureResult {
 		res.Overall[arm.Label] = merged.Series.Overall()
 		res.Packets[arm.Label] = merged.PacketsSent
 		res.Attacker[arm.Label] = merged.AttackerStats
+		res.Protocol[arm.Label] = merged.Protocol
 	}
 	for _, p := range f.Pairs {
 		free, okF := series[p.Free]
@@ -125,7 +163,7 @@ func (f Figure) Run(runs int) FigureResult {
 		res.Drops[p.Label] = ab.DropRate()
 		res.AccumDrops[p.Label] = ab.AccumulatedDrop()
 	}
-	return res
+	return res, nil
 }
 
 // attackFor maps a workload to its attack type.

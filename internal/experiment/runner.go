@@ -11,6 +11,7 @@ import (
 	"github.com/vanetsec/georoute/internal/geonet"
 	"github.com/vanetsec/georoute/internal/metrics"
 	"github.com/vanetsec/georoute/internal/mitigation"
+	"github.com/vanetsec/georoute/internal/trace"
 	"github.com/vanetsec/georoute/internal/traffic"
 	"github.com/vanetsec/georoute/internal/vanet"
 )
@@ -34,11 +35,23 @@ type RunResult struct {
 	PacketsSent int
 	// AttackerStats aggregates the attacker counters (zero for af arms).
 	AttackerStats attack.Stats
+	// Protocol aggregates the GeoNetworking counters of every router in
+	// the run (including despawned vehicles) — the per-reason drop
+	// rollup surfaced in the JSON artifacts.
+	Protocol geonet.Stats
 }
 
 // RunOnce executes a single seeded run of the scenario arm and returns
 // its bin series.
 func RunOnce(s Scenario, seed uint64) RunResult {
+	return RunOnceTraced(s, seed, nil)
+}
+
+// RunOnceTraced is RunOnce with a lifecycle tracer threaded through the
+// radio medium, every router stack, and the attacker. A nil tracer is
+// exactly RunOnce. The tracer's sinks see the run's records from a single
+// goroutine, but distinct concurrent runs need distinct tracers.
+func RunOnceTraced(s Scenario, seed uint64, tr *trace.Tracer) RunResult {
 	reg := make(map[geonet.Key]*tracked)
 
 	var cfgFilter geonet.ForwardFilter
@@ -63,6 +76,7 @@ func RunOnce(s Scenario, seed uint64) RunResult {
 		EdgeFactor:       s.RadioEdgeFactor,
 		ForwardFilter:    cfgFilter,
 		DuplicateRule:    cfgRule,
+		Tracer:           tr,
 		OnDeliver: func(addr geonet.Address, p *geonet.Packet) {
 			t, ok := reg[p.Key()]
 			if !ok {
@@ -96,6 +110,7 @@ func RunOnce(s Scenario, seed uint64) RunResult {
 			Range:           s.AttackRange,
 			ProcessingDelay: s.AttackerDelay,
 			Mode:            s.AttackMode,
+			Tracer:          tr,
 		})
 	}
 
@@ -187,36 +202,54 @@ func RunOnce(s Scenario, seed uint64) RunResult {
 			series.Add(t.sentAt, float64(len(t.received))/float64(len(t.targets)))
 		}
 	}
-	res := RunResult{Series: series, PacketsSent: len(reg)}
+	res := RunResult{Series: series, PacketsSent: len(reg), Protocol: w.ProtocolStats()}
 	if atk != nil {
 		res.AttackerStats = atk.Stats()
 	}
 	return res
 }
 
-// runJob is one seeded RunOnce executed by the shared worker pool.
+// runJob is one seeded RunOnce executed by the shared worker pool. tr
+// and done are set by traced figure runs: the job's run emits into tr,
+// and done (typically flush-and-close of a per-cell trace file) runs on
+// the worker right after the run completes.
 type runJob struct {
 	s    Scenario
 	seed uint64
 	out  *RunResult
+	tr   *trace.Tracer
+	done func() error
 }
 
 // runJobs executes every job on MaxParallel() workers pulling from one
 // shared queue. Jobs are independent seeded runs writing to disjoint
 // result slots, so the output is deterministic regardless of scheduling.
-func runJobs(jobs []runJob) {
+// The returned error is the first done-callback failure (always nil for
+// untraced jobs); all jobs run to completion regardless.
+func runJobs(jobs []runJob) error {
 	workers := MaxParallel()
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	ch := make(chan runJob)
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range ch {
-				*j.out = RunOnce(j.s, j.seed)
+				*j.out = RunOnceTraced(j.s, j.seed, j.tr)
+				if j.done != nil {
+					if err := j.done(); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+					}
+				}
 			}
 		}()
 	}
@@ -225,6 +258,7 @@ func runJobs(jobs []runJob) {
 	}
 	close(ch)
 	wg.Wait()
+	return firstErr
 }
 
 // armJobs appends one job per seeded repetition of an arm.
@@ -242,6 +276,7 @@ func mergeRuns(out []RunResult) RunResult {
 		merged.Series.Merge(r.Series)
 		merged.PacketsSent += r.PacketsSent
 		merged.AttackerStats.Add(r.AttackerStats)
+		merged.Protocol.Add(r.Protocol)
 	}
 	return merged
 }

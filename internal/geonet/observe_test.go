@@ -1,0 +1,121 @@
+package geonet
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/geo"
+	"github.com/vanetsec/georoute/internal/radio"
+	"github.com/vanetsec/georoute/internal/security"
+	"github.com/vanetsec/georoute/internal/sim"
+	"github.com/vanetsec/georoute/internal/trace"
+)
+
+// TestTracePTypeMirrorsWire pins the cross-package contract observe.go
+// relies on: trace.PType values equal the GeoNetworking wire type codes,
+// so records can be stamped with a plain conversion.
+func TestTracePTypeMirrorsWire(t *testing.T) {
+	want := map[PacketType]string{
+		TypeBeacon:       "beacon",
+		TypeGeoUnicast:   "guc",
+		TypeGeoBroadcast: "gbc",
+		TypeSHB:          "shb",
+		TypeTSB:          "tsb",
+		TypeLSRequest:    "lsreq",
+		TypeLSReply:      "lsrep",
+	}
+	for pt, name := range want {
+		if got := trace.PType(pt).String(); got != name {
+			t.Errorf("trace.PType(%d) = %q, want %q", pt, got, name)
+		}
+	}
+}
+
+// TestStatsAddCoversAllFields uses reflection to assert Stats.Add
+// accumulates every field, so adding a counter without extending Add is
+// caught immediately.
+func TestStatsAddCoversAllFields(t *testing.T) {
+	var a, b Stats
+	av := reflect.ValueOf(&a).Elem()
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		if av.Field(i).Kind() != reflect.Uint64 {
+			t.Fatalf("Stats field %s is %v; update this test for non-uint64 counters",
+				av.Type().Field(i).Name, av.Field(i).Kind())
+		}
+		av.Field(i).SetUint(uint64(i + 1))
+		bv.Field(i).SetUint(uint64(100 * (i + 1)))
+	}
+	a.Add(b)
+	for i := 0; i < av.NumField(); i++ {
+		want := uint64(i+1) + uint64(100*(i+1))
+		if got := av.Field(i).Uint(); got != want {
+			t.Errorf("Stats.Add misses field %s: got %d, want %d",
+				av.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// receiveFixture builds a router plus a cached signed beacon frame, the
+// simulator's hottest receive path.
+func receiveFixture(tb testing.TB, tr *trace.Tracer) (*Router, radio.Frame) {
+	tb.Helper()
+	engine := sim.NewEngine(1)
+	medium := radio.NewMedium(engine, radio.Config{})
+	ca := security.NewSimCA(1)
+	rx := NewRouter(Config{
+		Addr:     1,
+		Engine:   engine,
+		Medium:   medium,
+		Signer:   ca.Enroll(1, 0),
+		Verifier: ca,
+		Position: func() geo.Point { return geo.Pt(0, 0) },
+		Range:    486,
+		Tracer:   tr,
+	})
+	rx.Start()
+	sender := ca.Enroll(2, 0)
+	beacon := &Packet{
+		Basic:    BasicHeader{Version: 1, RHL: 1},
+		Type:     TypeBeacon,
+		SourcePV: PositionVector{Addr: 2, Timestamp: time.Second, Pos: geo.Pt(100, 0), Speed: 30, Heading: 90},
+	}
+	beacon.Sign(sender)
+	return rx, radio.Frame{From: 2, To: radio.BroadcastID, Payload: beacon.Marshal(), Cache: &radio.FrameCache{}}
+}
+
+// TestRouterReceiveAllocsNilTracer asserts the PR 2 guarantee survives the
+// tracing subsystem: with no tracer attached, a cached beacon reception
+// allocates nothing.
+func TestRouterReceiveAllocsNilTracer(t *testing.T) {
+	rx, frame := receiveFixture(t, nil)
+	rx.Deliver(frame) // warm the decode/verify cache
+	allocs := testing.AllocsPerRun(200, func() {
+		rx.Deliver(frame)
+	})
+	if allocs != 0 {
+		t.Fatalf("receive path allocates %.1f/op with tracing disabled, want 0", allocs)
+	}
+}
+
+// TestRouterReceiveEmitsRX: with a tracer attached the same reception
+// produces an EvRX record carrying the frame's identity.
+func TestRouterReceiveEmitsRX(t *testing.T) {
+	mem := &trace.MemorySink{}
+	rx, frame := receiveFixture(t, trace.New(mem))
+	rx.Deliver(frame)
+	var got *trace.Record
+	for i := range mem.Records {
+		if mem.Records[i].Event == trace.EvRX {
+			got = &mem.Records[i]
+			break
+		}
+	}
+	if got == nil {
+		t.Fatalf("no EvRX record among %d records", len(mem.Records))
+	}
+	if got.Node != 1 || got.Peer != 2 || got.Src != 2 || got.PType != trace.PTBeacon {
+		t.Errorf("EvRX record fields wrong: %+v", *got)
+	}
+}

@@ -3,12 +3,14 @@ package geonet
 import (
 	"fmt"
 	"math/rand/v2"
+	"sort"
 	"time"
 
 	"github.com/vanetsec/georoute/internal/geo"
 	"github.com/vanetsec/georoute/internal/radio"
 	"github.com/vanetsec/georoute/internal/security"
 	"github.com/vanetsec/georoute/internal/sim"
+	"github.com/vanetsec/georoute/internal/trace"
 )
 
 // Protocol defaults from EN 302 636-4-1 and the paper.
@@ -46,6 +48,15 @@ type Stats struct {
 	Duplicates   uint64 // repeated receptions of known packets
 	AuthFailures uint64 // signature/certificate rejections
 	DecodeErrors uint64 // malformed frames
+
+	// EchoesDropped counts receptions of the node's own packets (normally
+	// impossible — the medium never loops a frame back — so in practice
+	// these are attacker replays reaching their original source).
+	EchoesDropped uint64
+	// StopDropped counts packet copies still held (GF buffer, armed CBF
+	// contention) when the router was stopped: the node left the road
+	// carrying them.
+	StopDropped uint64
 }
 
 // Config parameterizes a Router. Zero values take the defaults above.
@@ -98,6 +109,11 @@ type Config struct {
 	// standard-compliant behavior.
 	ForwardFilter ForwardFilter
 	DuplicateRule DuplicateRule
+
+	// Tracer, when non-nil, receives a lifecycle record for every packet
+	// event at this router (see internal/trace). Nil keeps the receive
+	// path allocation-free.
+	Tracer *trace.Tracer
 }
 
 // Router is one node's GeoNetworking engine. Create with NewRouter, wire
@@ -238,8 +254,9 @@ func (r *Router) Start() {
 	r.beaconTimer = r.cfg.Engine.Schedule(first, "geonet.beacon", r.beaconTick)
 }
 
-// Stop detaches from the medium and cancels all timers. Buffered packets
-// are dropped — the node left the road with them.
+// Stop detaches from the medium and cancels all timers. Packet copies
+// still held — the GF buffer, armed CBF contentions — are dropped with
+// ReasonStopped: the node left the road carrying them.
 func (r *Router) Stop() {
 	if r.stopped {
 		return
@@ -248,16 +265,55 @@ func (r *Router) Stop() {
 	if r.beaconTimer != nil {
 		r.beaconTimer.Cancel()
 	}
-	for p, ev := range r.retryTimers {
+	// Drain the holding states in key order so traced runs emit the Stop
+	// drops deterministically (both maps iterate in random order).
+	var held []*pending
+	for pe, ev := range r.retryTimers {
 		ev.Cancel()
-		delete(r.retryTimers, p)
+		delete(r.retryTimers, pe)
+		held = append(held, pe)
 	}
-	for _, st := range r.state {
+	sortPending(held)
+	for _, pe := range held {
+		pe.st.custody = false
+		r.drop(pe.pkt, 0, trace.ReasonStopped, trace.KindBuffer)
+	}
+	var armed []Key
+	for k, st := range r.state {
 		if st.cbfTimer != nil {
 			st.cbfTimer.Cancel()
+			if !st.cbfResolved {
+				st.cbfResolved = true
+				armed = append(armed, k)
+			}
 		}
 	}
+	sortKeys(armed)
+	for _, k := range armed {
+		r.dropKey(k, trace.ReasonStopped, trace.KindArm)
+	}
 	r.cfg.Medium.Detach(radio.NodeID(r.cfg.Addr))
+}
+
+// sortPending orders buffered packets by end-to-end key.
+func sortPending(ps []*pending) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i].pkt.Key(), ps[j].pkt.Key()
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.SN < b.SN
+	})
+}
+
+// sortKeys orders packet keys by (source, sequence number).
+func sortKeys(ks []Key) {
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].Src != ks[j].Src {
+			return ks[i].Src < ks[j].Src
+		}
+		return ks[i].SN < ks[j].SN
+	})
 }
 
 // send marshals p into a pooled medium buffer and transmits it: the
@@ -303,6 +359,7 @@ func (r *Router) SendBeacon() {
 	p.Sign(r.cfg.Signer)
 	r.stats.BeaconsSent++
 	r.send(radio.BroadcastID, p)
+	r.emit(trace.EvTX, trace.KindBeacon, trace.ReasonNone, p, 0)
 }
 
 // SendGeoUnicast originates a GUC packet toward a destination node at a
@@ -325,6 +382,7 @@ func (r *Router) SendGeoUnicast(dest Address, destPos geo.Point, payload []byte)
 	}
 	p.Sign(r.cfg.Signer)
 	r.stats.Originated++
+	r.emit(trace.EvOriginate, trace.KindNone, trace.ReasonNone, p, 0)
 	st := r.stateFor(p.Key())
 	st.gfSeen = true
 	r.forwardGreedy(p, destPos, st)
@@ -350,6 +408,7 @@ func (r *Router) SendGeoBroadcast(area geo.Area, payload []byte) Key {
 	}
 	p.Sign(r.cfg.Signer)
 	r.stats.Originated++
+	r.emit(trace.EvOriginate, trace.KindNone, trace.ReasonNone, p, 0)
 	st := r.stateFor(p.Key())
 	if area.Contains(r.cfg.Position()) {
 		// Source is inside the area: broadcast and never contend for this
@@ -360,6 +419,7 @@ func (r *Router) SendGeoBroadcast(area geo.Area, payload []byte) Key {
 		out := p.Fork()
 		out.Basic.RHL--
 		r.send(radio.BroadcastID, out)
+		r.emit(trace.EvTX, trace.KindCBFSource, trace.ReasonNone, out, 0)
 	} else {
 		st.gfSeen = true
 		r.forwardGreedy(p, area.Center(), st)
@@ -378,17 +438,18 @@ func (r *Router) Deliver(f radio.Frame) {
 	}
 	p, err := DecodeFrame(f)
 	if err != nil {
-		r.stats.DecodeErrors++
+		r.drop(nil, f.From, trace.ReasonDecodeFail, trace.KindNone)
 		return
 	}
 	if err := VerifyFrame(f, p, r.cfg.Verifier, r.cfg.Engine.Now()); err != nil {
 		// Forged or tampered: the security layer rejects it. Replays of
 		// authentic messages pass — the paper's attacks live here.
-		r.stats.AuthFailures++
+		r.drop(p, f.From, trace.ReasonVerifyReject, trace.KindNone)
 		return
 	}
 	if p.SourcePV.Addr == r.cfg.Addr {
 		// Echo of our own packet (e.g. replayed by an attacker).
+		r.drop(p, f.From, trace.ReasonOwnEcho, trace.KindNone)
 		return
 	}
 	now := r.cfg.Engine.Now()
@@ -401,6 +462,7 @@ func (r *Router) Deliver(f radio.Frame) {
 		single := p.Type == TypeBeacon || p.Type == TypeSHB
 		r.loct.Update(p.SourcePV, now, single)
 	}
+	r.emit(trace.EvRX, trace.KindNone, trace.ReasonNone, p, f.From)
 
 	switch p.Type {
 	case TypeBeacon:
@@ -429,22 +491,29 @@ func (r *Router) stateFor(k Key) *pktState {
 	return st
 }
 
-func (r *Router) deliverOnce(p *Packet, st *pktState) {
+// deliverOnce hands p to the upper layer the first time and reports
+// whether it did; duplicate accounting is the caller's job (the right
+// reason depends on the transport type).
+func (r *Router) deliverOnce(p *Packet, st *pktState) bool {
 	if st.delivered {
-		r.stats.Duplicates++
-		return
+		return false
 	}
 	st.delivered = true
 	r.stats.Delivered++
 	if r.cfg.OnDeliver != nil {
 		r.cfg.OnDeliver(p)
 	}
+	return true
 }
 
 func (r *Router) handleGUC(p *Packet, f radio.Frame) {
 	st := r.stateFor(p.Key())
 	if p.DestAddr == r.cfg.Addr {
-		r.deliverOnce(p, st)
+		if r.deliverOnce(p, st) {
+			r.emit(trace.EvDeliver, trace.KindNone, trace.ReasonNone, p, f.From)
+		} else {
+			r.drop(p, f.From, trace.ReasonDuplicate, trace.KindNone)
+		}
 		return
 	}
 	r.relayGreedy(p, f, st, p.DestPos)
@@ -460,7 +529,7 @@ func (r *Router) handleGUC(p *Packet, f radio.Frame) {
 // multi-hop paths. Loops stay bounded by the RHL.
 func (r *Router) relayGreedy(p *Packet, f radio.Frame, st *pktState, target geo.Point) {
 	if st.custody {
-		r.stats.Duplicates++
+		r.drop(p, f.From, trace.ReasonDupCustody, trace.KindNone)
 		return
 	}
 	if st.gfSeen {
@@ -469,7 +538,7 @@ func (r *Router) relayGreedy(p *Packet, f radio.Frame, st *pktState, target geo.
 	st.gfSeen = true
 	st.prevHop = Address(f.From)
 	if p.Basic.RHL <= 1 {
-		r.stats.RHLExpired++
+		r.drop(p, f.From, trace.ReasonRHLExpired, trace.KindNone)
 		return
 	}
 	out := p.Fork()
@@ -481,7 +550,15 @@ func (r *Router) handleGBC(p *Packet, f radio.Frame) {
 	st := r.stateFor(p.Key())
 	inside := p.Area.Contains(r.cfg.Position())
 	if inside {
-		r.deliverOnce(p, st)
+		if r.deliverOnce(p, st) {
+			// Informational: for GBC the copy lives on into contention,
+			// which produces its disposition record.
+			r.emit(trace.EvDeliver, trace.KindNone, trace.ReasonNone, p, f.From)
+		} else {
+			// Historical accounting: an in-area duplicate counts once here
+			// and once in contend's resolution.
+			r.stats.Duplicates++
+		}
 		r.contend(p, f, st)
 		return
 	}
@@ -494,7 +571,7 @@ func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
 	if st.cbfSeen {
 		// Second (or later) copy.
 		if st.cbfResolved {
-			r.stats.Duplicates++
+			r.drop(p, f.From, trace.ReasonDuplicate, trace.KindNone)
 			return
 		}
 		if r.cfg.DuplicateRule.CancelsContention(st.cbfFirstRHL, p.Basic.RHL) {
@@ -502,9 +579,9 @@ func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
 			// (vulnerability: no check of WHO that someone is).
 			st.cbfResolved = true
 			st.cbfTimer.Cancel()
-			r.stats.CBFCanceled++
+			r.drop(p, f.From, trace.ReasonCBFCanceled, trace.KindArm)
 		} else {
-			r.stats.CBFIgnored++
+			r.drop(p, f.From, trace.ReasonDupIgnored, trace.KindNone)
 		}
 		return
 	}
@@ -514,7 +591,7 @@ func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
 		// Hop limit exhausted: deliver-only, never forward. The blockage
 		// attack manufactures exactly this state at hop n+2.
 		st.cbfResolved = true
-		r.stats.RHLExpired++
+		r.drop(p, f.From, trace.ReasonRHLExpired, trace.KindNone)
 		return
 	}
 	if f.To != radio.BroadcastID {
@@ -525,12 +602,14 @@ func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
 		out.Basic.RHL--
 		r.stats.CBFForwarded++
 		r.send(radio.BroadcastID, out)
+		r.emit(trace.EvTX, trace.KindCBFEntry, trace.ReasonNone, out, 0)
 		return
 	}
 	st.cbfSendRHL = p.Basic.RHL - 1
 	to := r.contentionTimeout(f)
 	buffered := p.Fork()
 	r.stats.CBFBuffered++
+	r.emit(trace.EvCBFArm, trace.KindArm, trace.ReasonNone, p, f.From)
 	st.cbfTimer = r.cfg.Engine.Schedule(to, "geonet.cbf", func() {
 		if r.stopped || st.cbfResolved {
 			return
@@ -541,6 +620,7 @@ func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
 		out.Basic.RHL = st.cbfSendRHL
 		r.stats.CBFForwarded++
 		r.send(radio.BroadcastID, out)
+		r.emit(trace.EvTX, trace.KindCBFFire, trace.ReasonNone, out, 0)
 	})
 }
 
@@ -565,14 +645,16 @@ func (r *Router) contentionTimeout(f radio.Frame) time.Duration {
 // forwardGreedy runs the GF next-hop selection for p toward target. With
 // no eligible neighbor the packet enters the store-carry-forward buffer.
 func (r *Router) forwardGreedy(p *Packet, target geo.Point, st *pktState) {
-	if r.trySendGreedy(p, target, st) {
+	if r.trySendGreedy(p, target, st, trace.KindGF) {
 		return
 	}
 	r.buffer(p, target, st)
 }
 
-// trySendGreedy attempts one GF transmission; it reports success.
-func (r *Router) trySendGreedy(p *Packet, target geo.Point, st *pktState) bool {
+// trySendGreedy attempts one GF transmission; it reports success. kind
+// distinguishes receive-time forwarding from buffer-retry forwarding in
+// the trace.
+func (r *Router) trySendGreedy(p *Packet, target geo.Point, st *pktState, kind trace.Kind) bool {
 	now := r.cfg.Engine.Now()
 	self := r.cfg.Position()
 	myDist := self.DistanceTo(target)
@@ -603,6 +685,7 @@ func (r *Router) trySendGreedy(p *Packet, target geo.Point, st *pktState) bool {
 	}
 	r.stats.GFForwarded++
 	r.send(radio.NodeID(best.Addr), p)
+	r.emit(trace.EvTX, kind, trace.ReasonNone, p, radio.NodeID(best.Addr))
 	return true
 }
 
@@ -618,6 +701,7 @@ func (r *Router) buffer(p *Packet, target geo.Point, st *pktState) {
 	}
 	st.custody = true
 	r.stats.GFBuffered++
+	r.emit(trace.EvGFBuffer, trace.KindBuffer, trace.ReasonNone, p, 0)
 	r.scheduleRetry(pe)
 }
 
@@ -629,11 +713,11 @@ func (r *Router) scheduleRetry(pe *pending) {
 		}
 		if r.cfg.Engine.Now() > pe.deadline {
 			pe.st.custody = false
-			r.stats.GFExpired++
+			r.drop(pe.pkt, 0, trace.ReasonGFExpired, trace.KindBuffer)
 			return
 		}
 		r.stats.GFRetries++
-		if r.trySendGreedy(pe.pkt, pe.target, pe.st) {
+		if r.trySendGreedy(pe.pkt, pe.target, pe.st, trace.KindGFRetry) {
 			pe.st.custody = false
 			return
 		}

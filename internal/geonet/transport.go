@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/vanetsec/georoute/internal/radio"
+	"github.com/vanetsec/georoute/internal/trace"
 )
 
 // This file implements the standard's remaining transport types on top of
@@ -36,7 +37,9 @@ func (r *Router) SendSHB(payload []byte) Key {
 	}
 	p.Sign(r.cfg.Signer)
 	r.stats.Originated++
+	r.emit(trace.EvOriginate, trace.KindNone, trace.ReasonNone, p, 0)
 	r.send(radio.BroadcastID, p)
+	r.emit(trace.EvTX, trace.KindSHB, trace.ReasonNone, p, 0)
 	return p.Key()
 }
 
@@ -58,9 +61,11 @@ func (r *Router) SendTSB(payload []byte, hops uint8) Key {
 	}
 	p.Sign(r.cfg.Signer)
 	r.stats.Originated++
+	r.emit(trace.EvOriginate, trace.KindNone, trace.ReasonNone, p, 0)
 	st := r.stateFor(p.Key())
 	st.tsbDone = true
 	r.send(radio.BroadcastID, p)
+	r.emit(trace.EvTX, trace.KindTSB, trace.ReasonNone, p, 0)
 	return p.Key()
 }
 
@@ -68,25 +73,35 @@ func (r *Router) SendTSB(payload []byte, hops uint8) Key {
 // neighbor status) already happened in Deliver.
 func (r *Router) handleSHB(p *Packet) {
 	st := r.stateFor(p.Key())
-	r.deliverOnce(p, st)
+	if r.deliverOnce(p, st) {
+		r.emit(trace.EvDeliver, trace.KindNone, trace.ReasonNone, p, 0)
+	} else {
+		r.drop(p, 0, trace.ReasonDuplicate, trace.KindNone)
+	}
 }
 
 // handleTSB delivers and re-floods a topologically-scoped broadcast.
 func (r *Router) handleTSB(p *Packet) {
 	st := r.stateFor(p.Key())
-	r.deliverOnce(p, st)
+	if r.deliverOnce(p, st) {
+		// Informational: the TSB copy lives on into the reflood decision,
+		// which produces its disposition record.
+		r.emit(trace.EvDeliver, trace.KindNone, trace.ReasonNone, p, 0)
+	}
 	if st.tsbDone {
+		r.drop(p, 0, trace.ReasonDuplicate, trace.KindNone)
 		return
 	}
 	st.tsbDone = true
 	if p.Basic.RHL <= 1 {
-		r.stats.RHLExpired++
+		r.drop(p, 0, trace.ReasonRHLExpired, trace.KindNone)
 		return
 	}
 	out := p.Fork()
 	out.Basic.RHL--
 	r.stats.TSBForwarded++
 	r.send(radio.BroadcastID, out)
+	r.emit(trace.EvTX, trace.KindTSB, trace.ReasonNone, out, 0)
 }
 
 // SendGeoUnicastAuto sends a GeoUnicast to a destination whose position
@@ -119,9 +134,11 @@ func (r *Router) sendLSRequest(dest Address) {
 		DestAddr: dest,
 	}
 	p.Sign(r.cfg.Signer)
+	r.emit(trace.EvOriginate, trace.KindNone, trace.ReasonNone, p, 0)
 	st := r.stateFor(p.Key())
 	st.tsbDone = true
 	r.send(radio.BroadcastID, p)
+	r.emit(trace.EvTX, trace.KindFlood, trace.ReasonNone, p, 0)
 }
 
 // handleLSRequest answers requests for our own position and re-floods
@@ -130,28 +147,29 @@ func (r *Router) handleLSRequest(p *Packet, f radio.Frame) {
 	st := r.stateFor(p.Key())
 	if p.DestAddr == r.cfg.Addr {
 		if st.tsbDone {
-			r.stats.Duplicates++
+			r.drop(p, f.From, trace.ReasonDuplicate, trace.KindNone)
 			return
 		}
 		st.tsbDone = true
+		r.emit(trace.EvDeliver, trace.KindNone, trace.ReasonNone, p, f.From)
 		r.stats.LSReplies++
 		r.sendLSReply(p.SourcePV)
 		return
 	}
 	if st.tsbDone {
-		r.stats.Duplicates++
+		r.drop(p, f.From, trace.ReasonDuplicate, trace.KindNone)
 		return
 	}
 	st.tsbDone = true
 	if p.Basic.RHL <= 1 {
-		r.stats.RHLExpired++
+		r.drop(p, f.From, trace.ReasonRHLExpired, trace.KindNone)
 		return
 	}
 	out := p.Fork()
 	out.Basic.RHL--
 	r.stats.TSBForwarded++
 	r.send(radio.BroadcastID, out)
-	_ = f
+	r.emit(trace.EvTX, trace.KindFlood, trace.ReasonNone, out, 0)
 }
 
 // sendLSReply unicasts our position vector back to the requester via GF.
@@ -166,6 +184,7 @@ func (r *Router) sendLSReply(requester PositionVector) {
 		DestPos:  requester.Pos,
 	}
 	p.Sign(r.cfg.Signer)
+	r.emit(trace.EvOriginate, trace.KindNone, trace.ReasonNone, p, 0)
 	st := r.stateFor(p.Key())
 	st.gfSeen = true
 	r.forwardGreedy(p, p.DestPos, st)
@@ -180,10 +199,11 @@ func (r *Router) handleLSReply(p *Packet, f radio.Frame) {
 		return
 	}
 	if st.delivered {
-		r.stats.Duplicates++
+		r.drop(p, f.From, trace.ReasonDuplicate, trace.KindNone)
 		return
 	}
 	st.delivered = true
+	r.emit(trace.EvDeliver, trace.KindNone, trace.ReasonNone, p, f.From)
 	target := p.SourcePV.Addr
 	pos := p.SourcePV.Pos
 	pending := r.lsQueue[target]
@@ -191,7 +211,7 @@ func (r *Router) handleLSReply(p *Packet, f radio.Frame) {
 	now := r.cfg.Engine.Now()
 	for _, q := range pending {
 		if now > q.deadline {
-			r.stats.GFExpired++
+			r.drop(nil, 0, trace.ReasonLSExpired, trace.KindNone)
 			continue
 		}
 		r.SendGeoUnicast(target, pos, q.payload)
@@ -206,7 +226,7 @@ func (r *Router) purgeLSQueue() {
 		kept := list[:0]
 		for _, q := range list {
 			if now > q.deadline {
-				r.stats.GFExpired++
+				r.drop(nil, 0, trace.ReasonLSExpired, trace.KindNone)
 				continue
 			}
 			kept = append(kept, q)

@@ -21,6 +21,7 @@ import (
 
 	"github.com/vanetsec/georoute/internal/geo"
 	"github.com/vanetsec/georoute/internal/sim"
+	"github.com/vanetsec/georoute/internal/trace"
 )
 
 // Technology identifies the access-layer technology in use.
@@ -281,6 +282,7 @@ type Medium struct {
 	edgeFactor   float64
 	seed         uint64
 	stats        Stats
+	tracer       *trace.Tracer
 
 	// Spatial index over antenna positions.
 	cellSize  float64
@@ -333,6 +335,9 @@ type Config struct {
 	// number of cells. The setting only affects performance, never which
 	// receivers hear a frame.
 	CellSize float64
+	// Tracer, when non-nil, receives a lifecycle record for every unicast
+	// frame the medium loses (target out of range or detached in flight).
+	Tracer *trace.Tracer
 }
 
 // DefaultEdgeFactor is the reception model used when Config.EdgeFactor is
@@ -369,6 +374,7 @@ func NewMedium(engine *sim.Engine, cfg Config) *Medium {
 		seed:         cfg.Seed,
 		cellSize:     cfg.CellSize,
 		cells:        make(map[int64][]*Antenna),
+		tracer:       cfg.Tracer,
 	}
 }
 
@@ -619,6 +625,7 @@ func (m *Medium) send(from *Antenna, to NodeID, payload []byte, pooled bool) Fra
 		// silently lost. This is the loss the inter-area interception
 		// attack manufactures.
 		m.stats.UnicastLost++
+		m.tracer.Emit(trace.Record{At: f.TxTime, Node: uint64(from.id), Peer: uint64(to), Event: trace.EvUnicastLoss})
 	}
 	if len(targets) == 0 {
 		m.releaseDelivery(targets)
@@ -726,6 +733,7 @@ func (m *Medium) deliver(f Frame, targets []delivery, targetReached bool) {
 		// frame was in flight: it never received the frame, so the frame
 		// counts as lost, not delivered.
 		m.stats.UnicastLost++
+		m.tracer.Emit(trace.Record{At: m.engine.Now(), Node: uint64(f.From), Peer: uint64(f.To), Event: trace.EvUnicastLoss})
 	}
 	m.releaseDelivery(targets)
 }

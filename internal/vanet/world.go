@@ -14,6 +14,7 @@ import (
 	"github.com/vanetsec/georoute/internal/radio"
 	"github.com/vanetsec/georoute/internal/security"
 	"github.com/vanetsec/georoute/internal/sim"
+	"github.com/vanetsec/georoute/internal/trace"
 	"github.com/vanetsec/georoute/internal/traffic"
 )
 
@@ -61,6 +62,10 @@ type Config struct {
 	// OnDeliver observes every upper-layer delivery in the world,
 	// identified by the receiving node's address.
 	OnDeliver func(addr geonet.Address, p *geonet.Packet)
+
+	// Tracer, when non-nil, is threaded into the radio medium and every
+	// router stack, recording each packet's lifecycle (see internal/trace).
+	Tracer *trace.Tracer
 }
 
 // World is one assembled simulation run.
@@ -72,6 +77,9 @@ type World struct {
 
 	cfg     Config
 	routers map[geonet.Address]*geonet.Router
+	// detached accumulates the protocol counters of routers stopped when
+	// their vehicle left the road, so ProtocolStats covers the whole run.
+	detached geonet.Stats
 }
 
 // New assembles a world. Vehicles present after prepopulation already
@@ -86,7 +94,7 @@ func New(cfg Config) *World {
 	engine := sim.NewEngine(cfg.Seed)
 	w := &World{
 		Engine:  engine,
-		Medium:  radio.NewMedium(engine, radio.Config{Latency: cfg.Latency, Obstructions: cfg.Obstructions, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed}),
+		Medium:  radio.NewMedium(engine, radio.Config{Latency: cfg.Latency, Obstructions: cfg.Obstructions, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed, Tracer: cfg.Tracer}),
 		CA:      security.NewSimCA(cfg.Seed),
 		cfg:     cfg,
 		routers: make(map[geonet.Address]*geonet.Router),
@@ -135,6 +143,7 @@ func (w *World) attachVehicle(v *traffic.Vehicle) {
 		PacketLifetime:   w.cfg.PacketLifetime,
 		ForwardFilter:    w.cfg.ForwardFilter,
 		DuplicateRule:    w.cfg.DuplicateRule,
+		Tracer:           w.cfg.Tracer,
 		OnDeliver: func(p *geonet.Packet) {
 			if w.cfg.OnDeliver != nil {
 				w.cfg.OnDeliver(addr, p)
@@ -149,6 +158,7 @@ func (w *World) detachVehicle(v *traffic.Vehicle) {
 	addr := AddrOf(v)
 	if r, ok := w.routers[addr]; ok {
 		r.Stop()
+		w.detached.Add(r.Stats())
 		delete(w.routers, addr)
 	}
 }
@@ -176,6 +186,7 @@ func (w *World) AddStatic(addr geonet.Address, pos geo.Point, rangeM float64) *g
 		PacketLifetime:   w.cfg.PacketLifetime,
 		ForwardFilter:    w.cfg.ForwardFilter,
 		DuplicateRule:    w.cfg.DuplicateRule,
+		Tracer:           w.cfg.Tracer,
 		OnDeliver: func(p *geonet.Packet) {
 			if w.cfg.OnDeliver != nil {
 				w.cfg.OnDeliver(addr, p)
@@ -217,3 +228,14 @@ func (w *World) VehicleAddrs() []geonet.Address {
 
 // Run advances the world to the given simulated time.
 func (w *World) Run(until time.Duration) { w.Engine.Run(until) }
+
+// ProtocolStats folds the GeoNetworking counters of every router that
+// ever ran in this world — live ones plus those of vehicles that already
+// left the road.
+func (w *World) ProtocolStats() geonet.Stats {
+	total := w.detached
+	for _, r := range w.routers {
+		total.Add(r.Stats())
+	}
+	return total
+}
