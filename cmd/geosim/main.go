@@ -25,6 +25,16 @@
 // directory. geotrace -validate checks any such file for schema and
 // conservation violations.
 //
+// Both modes also accept -listen <addr>, which serves live telemetry over
+// HTTP while the run executes — Prometheus text exposition on /metrics,
+// a JSON snapshot on /telemetry.json, and the standard pprof profiles
+// under /debug/pprof/ — and -progress, a periodic stderr heartbeat
+// (cells done/total, throughput and ETA in campaign mode; event counts in
+// figure mode). In campaign mode SIGQUIT (Ctrl-\) dumps goroutine stacks
+// plus a telemetry snapshot into results/<name>/ without stopping the
+// run. Telemetry is pure observation: outputs are byte-identical with it
+// on or off.
+//
 // With -runs 100 and the full 200 s duration a figure takes a while; use
 // lower run counts for exploration. Results print to stdout; campaign
 // artifacts land in results/<name>/.
@@ -41,6 +51,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -60,6 +71,8 @@ func main() {
 		maxCells = flag.Int("max-cells", 0, "stop the campaign after N fresh cells (testing/CI)")
 		workers  = flag.Int("workers", 0, "campaign worker pool size (default: CPUs-1)")
 		traceDir = flag.String("trace", "", "write per-cell packet-lifecycle traces (JSONL + counter rollup) into this directory")
+		listen   = flag.String("listen", "", "serve live telemetry on this address while running: /metrics (Prometheus), /telemetry.json, /debug/pprof/")
+		progress = flag.Bool("progress", false, "print a periodic progress heartbeat to stderr")
 	)
 	flag.Parse()
 
@@ -68,11 +81,26 @@ func main() {
 		return
 	}
 	if *campPath != "" {
-		os.Exit(runCampaign(*campPath, *results, *resume, *maxCells, *workers, *traceDir))
+		os.Exit(runCampaign(*campPath, *results, *resume, *maxCells, *workers, *traceDir, *listen, *progress))
 	}
 	if *expID == "" {
 		fmt.Fprintln(os.Stderr, "geosim: pass -experiment <id>, -campaign <spec> or -list")
 		os.Exit(2)
+	}
+
+	var reg *georoute.TelemetryRegistry
+	if *listen != "" || *progress {
+		reg = georoute.NewTelemetryRegistry()
+		georoute.RegisterRuntimeMetrics(reg)
+	}
+	if *listen != "" {
+		srv, err := georoute.ServeTelemetry(reg, *listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "geosim: telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
 	}
 
 	ids := []string{*expID}
@@ -80,11 +108,53 @@ func main() {
 		ids = georoute.FigureIDs()
 		ids = append(ids, "fig12a", "fig12b", "fig13", "tableI", "tableII")
 	}
+	var stopHB func()
+	if *progress {
+		stopHB = startFigureHeartbeat(reg, *expID)
+	}
 	for _, id := range ids {
-		if err := runExperiment(id, *runs, *format, *seeds, *traceDir); err != nil {
+		if err := runExperiment(id, *runs, *format, *seeds, *traceDir, reg); err != nil {
 			fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
 			os.Exit(1)
 		}
+	}
+	if stopHB != nil {
+		stopHB()
+	}
+}
+
+// startFigureHeartbeat prints a stderr heartbeat every two seconds while
+// figure runs execute: elapsed wall clock, total simulation events, and
+// the recent event rate (read from the telemetry registry, which the
+// per-worker samplers publish into). The returned func stops it.
+func startFigureHeartbeat(reg *georoute.TelemetryRegistry, label string) func() {
+	stop := make(chan struct{})
+	start := time.Now()
+	go func() {
+		t := time.NewTicker(2 * time.Second)
+		defer t.Stop()
+		lastEv, lastT := 0.0, start
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-t.C:
+				var ev float64
+				for _, s := range reg.Snapshot() {
+					if s.Name == "georoute_engine_events_total" {
+						ev = s.Value
+					}
+				}
+				rate := (ev - lastEv) / now.Sub(lastT).Seconds()
+				fmt.Fprintf(os.Stderr, "\r%s: %v elapsed, %.0f events (%.2fM ev/s)      ",
+					label, time.Since(start).Round(time.Second), ev, rate/1e6)
+				lastEv, lastT = ev, now
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		fmt.Fprintln(os.Stderr)
 	}
 }
 
@@ -106,7 +176,7 @@ func printList() {
 
 // runCampaign executes a campaign spec and reports progress on stderr.
 // Exit codes: 0 complete, 1 error, 3 interrupted (resume with -resume).
-func runCampaign(specPath, resultsDir string, resume bool, maxCells, workers int, traceDir string) int {
+func runCampaign(specPath, resultsDir string, resume bool, maxCells, workers int, traceDir, listen string, progress bool) int {
 	sp, err := georoute.LoadCampaignSpec(specPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
@@ -115,7 +185,61 @@ func runCampaign(specPath, resultsDir string, resume bool, maxCells, workers int
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var reg *georoute.TelemetryRegistry
+	if listen != "" || progress {
+		reg = georoute.NewTelemetryRegistry()
+		georoute.RegisterRuntimeMetrics(reg)
+	}
+	if listen != "" {
+		srv, err := georoute.ServeTelemetry(reg, listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "geosim: telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
+	}
+
+	// SIGQUIT (Ctrl-\) dumps goroutine stacks and a telemetry snapshot
+	// into the campaign's results directory and keeps running — the
+	// live-debugging hatch for a stuck or slow campaign.
+	dumpDir := filepath.Join(resultsDir, sp.Name)
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			stacks, snap, err := georoute.WriteTelemetryDebugDump(dumpDir, reg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "\ngeosim: debug dump: %v\n", err)
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "\ngeosim: SIGQUIT — wrote %s and %s\n", stacks, snap)
+		}
+	}()
+
 	start := time.Now()
+	var doneCells, totalCells, replayedCells atomic.Int64
+	if progress {
+		hb := time.NewTicker(2 * time.Second)
+		defer hb.Stop()
+		go func() {
+			for range hb.C {
+				done, total := doneCells.Load(), totalCells.Load()
+				executed := done - replayedCells.Load()
+				elapsed := time.Since(start).Seconds()
+				if total == 0 || elapsed <= 0 {
+					continue
+				}
+				rate := float64(executed) / elapsed
+				eta := "n/a"
+				if rate > 0 {
+					eta = (time.Duration(float64(total-done)/rate) * time.Second).Round(time.Second).String()
+				}
+				fmt.Fprintf(os.Stderr, "\rcampaign %s: %d/%d cells  %.2f cells/s  ETA %-12s", sp.Name, done, total, rate, eta)
+			}
+		}()
+	}
 	last := ""
 	info, err := georoute.RunCampaign(ctx, sp, georoute.CampaignOptions{
 		ResultsDir: resultsDir,
@@ -123,7 +247,11 @@ func runCampaign(specPath, resultsDir string, resume bool, maxCells, workers int
 		MaxCells:   maxCells,
 		Workers:    workers,
 		TraceDir:   traceDir,
+		Telemetry:  reg,
 		Progress: func(done, total, replayed int, key string) {
+			doneCells.Store(int64(done))
+			totalCells.Store(int64(total))
+			replayedCells.Store(int64(replayed))
 			if key == "" {
 				if replayed > 0 {
 					fmt.Fprintf(os.Stderr, "campaign %s: replayed %d/%d cells from journal\n", sp.Name, replayed, total)
@@ -161,7 +289,7 @@ func printJSON(v any) error {
 	return nil
 }
 
-func runExperiment(id string, runs int, format string, showcaseSeeds int, traceDir string) error {
+func runExperiment(id string, runs int, format string, showcaseSeeds int, traceDir string, reg *georoute.TelemetryRegistry) error {
 	switch id {
 	case "tableI":
 		if format == "json" {
@@ -187,7 +315,7 @@ func runExperiment(id string, runs int, format string, showcaseSeeds int, traceD
 		return fmt.Errorf("unknown experiment %q (try -list)", id)
 	}
 	if format == "json" {
-		res, err := runFigure(fig, runs, traceDir)
+		res, err := runFigure(fig, runs, traceDir, reg)
 		if err != nil {
 			return err
 		}
@@ -195,7 +323,7 @@ func runExperiment(id string, runs int, format string, showcaseSeeds int, traceD
 	}
 	fmt.Printf("== %s: %s (%d runs/arm) ==\n", fig.ID, fig.Title, runs)
 	start := time.Now()
-	res, err := runFigure(fig, runs, traceDir)
+	res, err := runFigure(fig, runs, traceDir, reg)
 	if err != nil {
 		return err
 	}
@@ -241,23 +369,27 @@ func runExperiment(id string, runs int, format string, showcaseSeeds int, traceD
 }
 
 // runFigure executes a figure, optionally writing one trace artifact pair
-// (<figure>__<arm>__<seed>.jsonl + .counters.json) per cell into traceDir.
-func runFigure(fig georoute.Figure, runs int, traceDir string) (georoute.FigureResult, error) {
-	if traceDir == "" {
+// (<figure>__<arm>__<seed>.jsonl + .counters.json) per cell into traceDir
+// and publishing live gauges into the telemetry registry.
+func runFigure(fig georoute.Figure, runs int, traceDir string, reg *georoute.TelemetryRegistry) (georoute.FigureResult, error) {
+	var hook georoute.TraceHook
+	if traceDir != "" {
+		if err := os.MkdirAll(traceDir, 0o755); err != nil {
+			return georoute.FigureResult{}, err
+		}
+		hook = func(c georoute.ExperimentCell) (*georoute.Tracer, func() error, error) {
+			name := fmt.Sprintf("%s__%s__%d.jsonl", c.Figure, c.Arm, c.Seed)
+			ft, err := georoute.NewFileTracer(filepath.Join(traceDir, name))
+			if err != nil {
+				return nil, nil, err
+			}
+			return ft.Tracer(), ft.Close, nil
+		}
+	}
+	if hook == nil && reg == nil {
 		return fig.Run(runs), nil
 	}
-	if err := os.MkdirAll(traceDir, 0o755); err != nil {
-		return georoute.FigureResult{}, err
-	}
-	hook := func(c georoute.ExperimentCell) (*georoute.Tracer, func() error, error) {
-		name := fmt.Sprintf("%s__%s__%d.jsonl", c.Figure, c.Arm, c.Seed)
-		ft, err := georoute.NewFileTracer(filepath.Join(traceDir, name))
-		if err != nil {
-			return nil, nil, err
-		}
-		return ft.Tracer(), ft.Close, nil
-	}
-	return fig.RunTraced(runs, hook)
+	return fig.RunObserved(runs, hook, reg)
 }
 
 // spreadSuffix renders per-run dispersion when there was more than one

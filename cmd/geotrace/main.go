@@ -20,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -44,11 +45,15 @@ func main() {
 		jsonl    = flag.String("jsonl", "", "also write the raw trace to this JSONL file (plus a .counters.json rollup)")
 		quiet    = flag.Bool("quiet", false, "suppress the per-event lines, print only the analysis")
 		validate = flag.String("validate", "", "validate an existing JSONL trace file and exit")
+		valMet   = flag.String("validate-metrics", "", "validate a Prometheus text exposition (as scraped from geosim -listen's /metrics; '-' reads stdin) and exit")
 	)
 	flag.Parse()
 
 	if *validate != "" {
 		os.Exit(runValidate(*validate))
+	}
+	if *valMet != "" {
+		os.Exit(runValidateMetrics(*valMet))
 	}
 	os.Exit(runTrace(*duration, *packets, *workload, *atkMode, *atkRange, *seed, *beacons, *jsonl, *quiet))
 }
@@ -78,6 +83,29 @@ func runValidate(path string) int {
 	}
 	fmt.Printf("%s: %d records, %d chains, %d delivered — conservation OK\n",
 		path, an.Records, len(an.Chains), an.Delivered())
+	return 0
+}
+
+// runValidateMetrics strict-checks a Prometheus text-format exposition —
+// the CI smoke job scrapes a live campaign's /metrics into a file and
+// feeds it here. Exit 0 only for a well-formed exposition with at least
+// one sample.
+func runValidateMetrics(path string) int {
+	r := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "geotrace: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		r = f
+	}
+	if err := georoute.ValidateMetricsExposition(r); err != nil {
+		fmt.Fprintf(os.Stderr, "geotrace: %s: %v\n", path, err)
+		return 1
+	}
+	fmt.Printf("%s: valid Prometheus exposition\n", path)
 	return 0
 }
 

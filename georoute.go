@@ -33,6 +33,7 @@ package georoute
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"github.com/vanetsec/georoute/internal/attack"
@@ -44,6 +45,7 @@ import (
 	"github.com/vanetsec/georoute/internal/mitigation"
 	"github.com/vanetsec/georoute/internal/radio"
 	"github.com/vanetsec/georoute/internal/showcase"
+	"github.com/vanetsec/georoute/internal/telemetry"
 	"github.com/vanetsec/georoute/internal/trace"
 	"github.com/vanetsec/georoute/internal/traffic"
 	"github.com/vanetsec/georoute/internal/vanet"
@@ -254,6 +256,70 @@ type TraceHook = experiment.TraceHook
 
 // ExperimentCell identifies one (figure, arm, seed) run unit.
 type ExperimentCell = experiment.Cell
+
+// Telemetry ------------------------------------------------------------------
+//
+// The telemetry registry (internal/telemetry) samples live run and
+// campaign state — engine queue depth, events/sec, radio in-flight
+// counts, CBF contention-buffer occupancy, campaign progress — into
+// lock-free gauge/counter cells, and serves them over HTTP as Prometheus
+// text exposition, JSON, and net/http/pprof profiles. A nil registry
+// disables everything: handles come back nil and every publish is an
+// inlined no-op, so instrumented hot paths cost nothing with telemetry
+// off. Sampling is pure observation — simulated outcomes and campaign
+// artifacts are byte-identical with telemetry on or off.
+
+// TelemetryRegistry holds live metric cells and serves snapshots.
+type TelemetryRegistry = telemetry.Registry
+
+// TelemetrySample is one metric value in a registry snapshot.
+type TelemetrySample = telemetry.Sample
+
+// TelemetryServer is a live /metrics + /telemetry.json + /debug/pprof
+// HTTP server over a registry.
+type TelemetryServer = telemetry.Server
+
+// RunTelemetry bundles the per-run gauge handles sampled by a world.
+type RunTelemetry = telemetry.RunGauges
+
+// NewTelemetryRegistry builds an empty registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewRunTelemetry registers one worker slot's run gauges (nil registry →
+// nil, which every sample site tolerates).
+func NewRunTelemetry(r *TelemetryRegistry, worker int) *RunTelemetry {
+	return telemetry.NewRunGauges(r, worker)
+}
+
+// RegisterRuntimeMetrics adds Go-runtime memory/GC/goroutine gauges,
+// refreshed only when scraped.
+func RegisterRuntimeMetrics(r *TelemetryRegistry) { telemetry.RegisterRuntime(r) }
+
+// ServeTelemetry starts the exposition server on addr (":0" picks a free
+// port; the resolved address is in Server.Addr).
+func ServeTelemetry(r *TelemetryRegistry, addr string) (*TelemetryServer, error) {
+	return telemetry.ListenAndServe(r, addr)
+}
+
+// WriteTelemetryDebugDump writes a full goroutine stack dump and a
+// telemetry snapshot into dir (the SIGQUIT handler's backend) and returns
+// both paths.
+func WriteTelemetryDebugDump(dir string, r *TelemetryRegistry) (stackPath, snapPath string, err error) {
+	return telemetry.WriteDebugDump(dir, r)
+}
+
+// ValidateMetricsExposition strict-checks a Prometheus text-format
+// exposition (as served on /metrics) for well-formedness.
+func ValidateMetricsExposition(r io.Reader) error { return telemetry.ValidateExposition(r) }
+
+// Observe bundles the optional per-run observers (lifecycle tracer,
+// telemetry gauges).
+type Observe = experiment.Observe
+
+// RunOnceObserved is RunOnce with observers threaded through the stack.
+func RunOnceObserved(s Scenario, seed uint64, obs Observe) experiment.RunResult {
+	return experiment.RunOnceObserved(s, seed, obs)
+}
 
 // Campaigns ------------------------------------------------------------------
 //

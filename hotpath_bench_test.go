@@ -44,3 +44,26 @@ func BenchmarkCBFStorm(b *testing.B) {
 	}
 	b.ReportMetric(100*rate, "reception%")
 }
+
+// BenchmarkFig7aPairTelemetry is the same attack-free + attacked Fig. 7a
+// pair with a live telemetry registry attached: the engine probe fires
+// every 8192 events and publishes ~15 gauge/counter cells. Compare
+// against BenchmarkFig7aPair (nil registry, inlined no-op publishes) to
+// see the sampling overhead recorded in BENCH_telemetry.json.
+func BenchmarkFig7aPairTelemetry(b *testing.B) {
+	atk := scaled(georoute.DefaultScenario())
+	atk.AttackMode = georoute.AttackInterArea
+	atk.AttackRange = georoute.Range(georoute.DSRC, georoute.NLoSWorst)
+	af := atk
+	af.AttackMode = georoute.AttackNone
+	reg := georoute.NewTelemetryRegistry()
+	obs := georoute.Observe{Gauges: georoute.NewRunTelemetry(reg, 0)}
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i + 1)
+		r := georoute.RunOnceObserved(af, seed, obs)
+		georoute.RunOnceObserved(atk, seed, obs)
+		rate = r.Series.Overall()
+	}
+	b.ReportMetric(100*rate, "af-reception%")
+}

@@ -32,6 +32,10 @@ type Aggregator struct {
 	hazard map[string]map[string]*hazardArmAgg
 	curve  map[string]*showcase.CurveResult
 	done   map[string]bool
+	// resources collects per-cell cost measurements for the resources.json
+	// trajectory (see CellResources). Keyed by cell key; cells journaled
+	// without measurements are simply absent.
+	resources map[string]CellResources
 }
 
 // armAgg streams one arm: Welford over per-run overall rates, plus the
@@ -83,6 +87,8 @@ func NewAggregator(sp Spec) (*Aggregator, error) {
 		hazard: make(map[string]map[string]*hazardArmAgg),
 		curve:  make(map[string]*showcase.CurveResult),
 		done:   make(map[string]bool),
+
+		resources: make(map[string]CellResources),
 	}
 	for _, id := range ids {
 		fig := a.figs[id]
@@ -117,6 +123,9 @@ func (a *Aggregator) Feed(c Cell, res CellResult) error {
 		return fmt.Errorf("campaign: cell %s aggregated twice", key)
 	}
 	a.done[key] = true
+	if res.Resources != nil {
+		a.resources[key] = *res.Resources
+	}
 	switch c.Figure {
 	case hazardGFID, hazardCBFID:
 		if res.Hazard == nil {
@@ -382,6 +391,18 @@ func (a *Aggregator) Finalize(dir string) error {
 		}
 	}
 	sort.Strings(sum.Figures)
+	// The resource trajectory is wall-clock data and deliberately NOT
+	// listed in the summary's figure index: summary.json stays part of the
+	// byte-identical artifact set while resources.json sits outside it.
+	if len(a.resources) > 0 {
+		art, err := a.resourcesArtifact()
+		if err != nil {
+			return err
+		}
+		if err := writeArtifact(dir, "resources", art); err != nil {
+			return err
+		}
+	}
 	return writeArtifact(dir, "summary", sum)
 }
 

@@ -233,6 +233,10 @@ func readArtifacts(t *testing.T, dir string) map[string]string {
 		if filepath.Ext(e.Name()) != ".json" {
 			continue
 		}
+		if e.Name() == "resources.json" {
+			// Wall-clock measurements: intentionally not byte-identical.
+			continue
+		}
 		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
 		if err != nil {
 			t.Fatal(err)

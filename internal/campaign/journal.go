@@ -14,11 +14,14 @@ import (
 )
 
 // CellResult is the journaled payload of one completed cell. Exactly one
-// field is set, matching the cell kind.
+// of Run/Hazard/Curve is set, matching the cell kind; Resources carries
+// the cell's measured cost (wall clock, allocations, events) and rides
+// along on every journal line.
 type CellResult struct {
-	Run    *experiment.RunResult  `json:"run,omitempty"`
-	Hazard *showcase.HazardResult `json:"hazard,omitempty"`
-	Curve  *showcase.CurveResult  `json:"curve,omitempty"`
+	Run       *experiment.RunResult  `json:"run,omitempty"`
+	Hazard    *showcase.HazardResult `json:"hazard,omitempty"`
+	Curve     *showcase.CurveResult  `json:"curve,omitempty"`
+	Resources *CellResources         `json:"resources,omitempty"`
 }
 
 // entry is one journal line.

@@ -1,0 +1,121 @@
+package campaign
+
+import (
+	"runtime"
+	"time"
+)
+
+// CellResources is the per-cell resource accounting attached to every
+// journal line: how much wall clock, allocation, and simulation work one
+// cell cost. It is the repo's per-cell performance trajectory — future
+// changes can regress against journaled campaigns cell by cell.
+//
+// Wall clock and memory numbers are measured, not simulated, so they
+// differ between machines and runs; they live on journal lines and in the
+// resources.json artifact, both of which are excluded from the campaign's
+// byte-identity guarantees (which cover only the measured simulation
+// artifacts). Alloc figures come from process-wide runtime.ReadMemStats
+// deltas: exact with one worker, attributed approximately when several
+// cells run concurrently.
+type CellResources struct {
+	// WallSeconds is the cell's execution wall-clock time.
+	WallSeconds float64 `json:"wall_s"`
+	// AllocBytes is the MemStats.TotalAlloc delta across the cell.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	// PeakHeapBytes is MemStats.HeapSys at cell completion — the
+	// process's heap high-water mark so far, a monotone ceiling on what
+	// the campaign needed up to this cell.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// Events counts simulation events the cell's engine executed
+	// (deterministic, unlike the other fields).
+	Events uint64 `json:"events"`
+}
+
+// measureCell runs one cell under resource accounting and attaches the
+// measurement to the result.
+func measureCell(run func() (CellResult, error)) (CellResult, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := run()
+	wall := time.Since(start)
+	if err != nil {
+		return res, err
+	}
+	runtime.ReadMemStats(&after)
+	r := &CellResources{
+		WallSeconds:   wall.Seconds(),
+		AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+		PeakHeapBytes: after.HeapSys,
+	}
+	switch {
+	case res.Run != nil:
+		r.Events = res.Run.Events
+	case res.Hazard != nil:
+		r.Events = res.Hazard.Events
+	case res.Curve != nil:
+		r.Events = res.Curve.Events
+	}
+	res.Resources = r
+	return res, nil
+}
+
+// ResourceRow is one cell's entry in the resources artifact, in canonical
+// cell order.
+type ResourceRow struct {
+	Key string `json:"key"`
+	CellResources
+}
+
+// ResourceRollup sums resource usage over a set of cells.
+type ResourceRollup struct {
+	Cells         int     `json:"cells"`
+	WallSeconds   float64 `json:"wall_s"`
+	AllocBytes    uint64  `json:"alloc_bytes"`
+	Events        uint64  `json:"events"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"` // max over the cells
+}
+
+func (r *ResourceRollup) add(c CellResources) {
+	r.Cells++
+	r.WallSeconds += c.WallSeconds
+	r.AllocBytes += c.AllocBytes
+	r.Events += c.Events
+	if c.PeakHeapBytes > r.PeakHeapBytes {
+		r.PeakHeapBytes = c.PeakHeapBytes
+	}
+}
+
+// ResourcesArtifact is the per-cell performance trajectory written to
+// results/<campaign>/resources.json. Unlike every other artifact it
+// contains wall-clock measurements, so it is intentionally excluded from
+// byte-identity comparisons (resume determinism, telemetry on/off, CI).
+// Cells replayed from a journal keep the resources measured when they
+// originally ran; cells journaled before resource accounting existed are
+// simply absent.
+type ResourcesArtifact struct {
+	Cells   []ResourceRow             `json:"cells"`
+	Figures map[string]ResourceRollup `json:"figures"`
+	Totals  ResourceRollup            `json:"totals"`
+}
+
+// resourcesArtifact assembles the trajectory in canonical cell order.
+func (a *Aggregator) resourcesArtifact() (ResourcesArtifact, error) {
+	cells, err := a.spec.Cells()
+	if err != nil {
+		return ResourcesArtifact{}, err
+	}
+	art := ResourcesArtifact{Figures: make(map[string]ResourceRollup)}
+	for _, c := range cells {
+		res, ok := a.resources[c.Key()]
+		if !ok {
+			continue
+		}
+		art.Cells = append(art.Cells, ResourceRow{Key: c.Key(), CellResources: res})
+		fig := art.Figures[c.Figure]
+		fig.add(res)
+		art.Figures[c.Figure] = fig
+		art.Totals.add(res)
+	}
+	return art, nil
+}

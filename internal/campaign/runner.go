@@ -8,9 +8,11 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/vanetsec/georoute/internal/experiment"
 	"github.com/vanetsec/georoute/internal/showcase"
+	"github.com/vanetsec/georoute/internal/telemetry"
 	"github.com/vanetsec/georoute/internal/trace"
 )
 
@@ -43,6 +45,11 @@ type Options struct {
 	// Progress, when set, is called after every cell (replayed cells are
 	// reported once, up front, with an empty key).
 	Progress func(done, total, replayed int, key string)
+	// Telemetry, when non-nil, receives live campaign gauges (cells
+	// done/total, throughput, ETA) and per-worker run gauges (queue depth,
+	// events/sec, CBF occupancy, ...) for /metrics scraping. Telemetry is
+	// pure observation: artifacts are byte-identical with it on or off.
+	Telemetry *telemetry.Registry
 }
 
 // Info summarizes a finished (or interrupted) campaign run.
@@ -122,6 +129,11 @@ func Run(ctx context.Context, sp Spec, opts Options) (Info, error) {
 	if opts.Progress != nil {
 		opts.Progress(info.Replayed, info.Total, info.Replayed, "")
 	}
+	if cg := telemetry.NewCampaignGauges(opts.Telemetry); cg != nil {
+		cg.CellsTotal.Set(float64(info.Total))
+		cg.CellsDone.Set(float64(info.Replayed))
+		cg.CellsReplayed.Set(float64(info.Replayed))
+	}
 
 	// Budget for this process: the MaxCells prefix of the canonical
 	// remainder, so interruption points are deterministic under test.
@@ -168,13 +180,14 @@ func runPool(ctx context.Context, sp Spec, dispatch []Cell, opts Options, j *Jou
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			gauges := telemetry.NewRunGauges(opts.Telemetry, worker)
 			for c := range jobs {
-				res, err := runCell(figs, c, opts.TraceDir)
+				res, err := runCell(figs, c, opts.TraceDir, gauges)
 				results <- completion{cell: c, res: res, err: err}
 			}
-		}()
+		}(w)
 	}
 	go func() {
 		defer close(jobs)
@@ -190,6 +203,9 @@ func runPool(ctx context.Context, sp Spec, dispatch []Cell, opts Options, j *Jou
 		wg.Wait()
 		close(results)
 	}()
+
+	cg := telemetry.NewCampaignGauges(opts.Telemetry)
+	poolStart := time.Now()
 
 	var firstErr error
 	fail := func(err error) {
@@ -218,49 +234,67 @@ func runPool(ctx context.Context, sp Spec, dispatch []Cell, opts Options, j *Jou
 		if opts.Progress != nil {
 			opts.Progress(info.Replayed+info.Executed, info.Total, info.Replayed, d.cell.Key())
 		}
+		if cg != nil {
+			done := info.Replayed + info.Executed
+			cg.CellsDone.Set(float64(done))
+			elapsed := time.Since(poolStart).Seconds()
+			if elapsed > 0 {
+				rate := float64(info.Executed) / elapsed
+				cg.CellsPerSec.Set(rate)
+				if rate > 0 {
+					cg.ETASeconds.Set(float64(info.Total-done) / rate)
+				}
+			}
+		}
 	}
 	return firstErr
 }
 
-// runCell executes one cell of any kind. When traceDir is non-empty,
-// figure cells run with a per-cell file tracer writing a JSONL stream and
-// counter rollup named after the cell key.
-func runCell(figs map[string]experiment.Figure, c Cell, traceDir string) (CellResult, error) {
-	switch c.Figure {
-	case hazardGFID, hazardCBFID:
-		hc := showcase.CaseGF
-		if c.Figure == hazardCBFID {
-			hc = showcase.CaseCBF
+// runCell executes one cell of any kind under per-cell resource
+// accounting. When traceDir is non-empty, figure cells run with a
+// per-cell file tracer writing a JSONL stream and counter rollup named
+// after the cell key; gauges (nil-safe) feed the live telemetry registry.
+func runCell(figs map[string]experiment.Figure, c Cell, traceDir string, gauges *telemetry.RunGauges) (CellResult, error) {
+	return measureCell(func() (CellResult, error) {
+		switch c.Figure {
+		case hazardGFID, hazardCBFID:
+			hc := showcase.CaseGF
+			if c.Figure == hazardCBFID {
+				hc = showcase.CaseCBF
+			}
+			r := showcase.RunHazard(showcase.HazardConfig{Case: hc, Attacked: c.Arm == "atk", Seed: c.Seed})
+			return CellResult{Hazard: &r}, nil
+		case curveID:
+			r := showcase.RunCurve(showcase.CurveConfig{Attacked: c.Arm == "atk", Seed: c.Seed})
+			return CellResult{Curve: &r}, nil
 		}
-		r := showcase.RunHazard(showcase.HazardConfig{Case: hc, Attacked: c.Arm == "atk", Seed: c.Seed})
-		return CellResult{Hazard: &r}, nil
-	case curveID:
-		r := showcase.RunCurve(showcase.CurveConfig{Attacked: c.Arm == "atk", Seed: c.Seed})
-		return CellResult{Curve: &r}, nil
-	}
-	fig, ok := figs[c.Figure]
-	if !ok {
-		return CellResult{}, fmt.Errorf("campaign: cell %s references unknown figure", c.Key())
-	}
-	var ft *trace.FileTracer
-	if traceDir != "" {
-		name := strings.ReplaceAll(c.Key(), "/", "__") + ".jsonl"
-		var err error
-		ft, err = trace.NewFileTracer(filepath.Join(traceDir, name))
+		fig, ok := figs[c.Figure]
+		if !ok {
+			return CellResult{}, fmt.Errorf("campaign: cell %s references unknown figure", c.Key())
+		}
+		var ft *trace.FileTracer
+		if traceDir != "" {
+			name := strings.ReplaceAll(c.Key(), "/", "__") + ".jsonl"
+			var err error
+			ft, err = trace.NewFileTracer(filepath.Join(traceDir, name))
+			if err != nil {
+				return CellResult{}, err
+			}
+		}
+		rr, err := fig.RunCellObserved(
+			experiment.Cell{Figure: c.Figure, Arm: c.Arm, Seed: c.Seed},
+			experiment.Observe{Tracer: ft.Tracer(), Gauges: gauges},
+		)
+		if ft != nil {
+			if cerr := ft.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
 		if err != nil {
 			return CellResult{}, err
 		}
-	}
-	rr, err := fig.RunCellTraced(experiment.Cell{Figure: c.Figure, Arm: c.Arm, Seed: c.Seed}, ft.Tracer())
-	if ft != nil {
-		if cerr := ft.Close(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}
-	if err != nil {
-		return CellResult{}, err
-	}
-	return CellResult{Run: &rr}, nil
+		return CellResult{Run: &rr}, nil
+	})
 }
 
 // RunHazardArtifact runs the Figure 12 showcase directly (outside a

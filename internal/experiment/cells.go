@@ -76,6 +76,12 @@ func (f Figure) RunCell(c Cell) (RunResult, error) {
 // RunCellTraced executes one cell with a lifecycle tracer threaded through
 // the run (nil behaves exactly like RunCell).
 func (f Figure) RunCellTraced(c Cell, tr *trace.Tracer) (RunResult, error) {
+	return f.RunCellObserved(c, Observe{Tracer: tr})
+}
+
+// RunCellObserved executes one cell with both observability sinks (see
+// Observe); the zero Observe behaves exactly like RunCell.
+func (f Figure) RunCellObserved(c Cell, obs Observe) (RunResult, error) {
 	if c.Figure != f.ID {
 		return RunResult{}, fmt.Errorf("experiment: cell %s run against figure %s", c.Key(), f.ID)
 	}
@@ -83,7 +89,7 @@ func (f Figure) RunCellTraced(c Cell, tr *trace.Tracer) (RunResult, error) {
 	if !ok {
 		return RunResult{}, fmt.Errorf("experiment: cell %s references unknown arm", c.Key())
 	}
-	return RunOnceTraced(s, c.Seed, tr), nil
+	return RunOnceObserved(s, c.Seed, obs), nil
 }
 
 // RunIndex converts a cell's absolute seed back to its 0-based run index

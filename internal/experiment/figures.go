@@ -9,6 +9,7 @@ import (
 	"github.com/vanetsec/georoute/internal/geonet"
 	"github.com/vanetsec/georoute/internal/metrics"
 	"github.com/vanetsec/georoute/internal/radio"
+	"github.com/vanetsec/georoute/internal/telemetry"
 	"github.com/vanetsec/georoute/internal/trace"
 )
 
@@ -91,6 +92,14 @@ func (f Figure) Run(runs int) FigureResult {
 // like Run; a non-nil hook is consulted once per (arm, seed) cell before
 // the runs are dispatched to the shared pool.
 func (f Figure) RunTraced(runs int, hook TraceHook) (FigureResult, error) {
+	return f.RunObserved(runs, hook, nil)
+}
+
+// RunObserved is RunTraced with a telemetry registry: each pool worker
+// publishes live run gauges into reg under its worker label. A nil
+// registry behaves exactly like RunTraced, and neither sink affects the
+// result (observability never touches the event stream).
+func (f Figure) RunObserved(runs int, hook TraceHook, reg *telemetry.Registry) (FigureResult, error) {
 	if runs <= 0 {
 		runs = 1
 	}
@@ -111,7 +120,7 @@ func (f Figure) RunTraced(runs int, hook TraceHook) (FigureResult, error) {
 			jobs = append(jobs, j)
 		}
 	}
-	if err := runJobs(jobs); err != nil {
+	if err := runJobs(jobs, reg); err != nil {
 		return FigureResult{}, err
 	}
 

@@ -11,6 +11,7 @@ import (
 	"github.com/vanetsec/georoute/internal/geonet"
 	"github.com/vanetsec/georoute/internal/metrics"
 	"github.com/vanetsec/georoute/internal/mitigation"
+	"github.com/vanetsec/georoute/internal/telemetry"
 	"github.com/vanetsec/georoute/internal/trace"
 	"github.com/vanetsec/georoute/internal/traffic"
 	"github.com/vanetsec/georoute/internal/vanet"
@@ -39,12 +40,25 @@ type RunResult struct {
 	// the run (including despawned vehicles) — the per-reason drop
 	// rollup surfaced in the JSON artifacts.
 	Protocol geonet.Stats
+	// Events counts simulation events executed by the run's engine, a
+	// determinism-stable measure of work used by per-cell resource
+	// accounting. Excluded from figure artifacts.
+	Events uint64
+}
+
+// Observe bundles the optional observability sinks of a run: the packet-
+// lifecycle tracer (internal/trace) and the runtime-health gauge bundle
+// (internal/telemetry). Either or both may be nil; the zero Observe is an
+// unobserved run.
+type Observe struct {
+	Tracer *trace.Tracer
+	Gauges *telemetry.RunGauges
 }
 
 // RunOnce executes a single seeded run of the scenario arm and returns
 // its bin series.
 func RunOnce(s Scenario, seed uint64) RunResult {
-	return RunOnceTraced(s, seed, nil)
+	return RunOnceObserved(s, seed, Observe{})
 }
 
 // RunOnceTraced is RunOnce with a lifecycle tracer threaded through the
@@ -52,6 +66,14 @@ func RunOnce(s Scenario, seed uint64) RunResult {
 // exactly RunOnce. The tracer's sinks see the run's records from a single
 // goroutine, but distinct concurrent runs need distinct tracers.
 func RunOnceTraced(s Scenario, seed uint64, tr *trace.Tracer) RunResult {
+	return RunOnceObserved(s, seed, Observe{Tracer: tr})
+}
+
+// RunOnceObserved is RunOnce with both observability sinks threaded
+// through the world (see Observe). Neither sink influences the event
+// stream, so the measured series are identical across all variants.
+func RunOnceObserved(s Scenario, seed uint64, obs Observe) RunResult {
+	tr := obs.Tracer
 	reg := make(map[geonet.Key]*tracked)
 
 	var cfgFilter geonet.ForwardFilter
@@ -77,6 +99,7 @@ func RunOnceTraced(s Scenario, seed uint64, tr *trace.Tracer) RunResult {
 		ForwardFilter:    cfgFilter,
 		DuplicateRule:    cfgRule,
 		Tracer:           tr,
+		Telemetry:        obs.Gauges,
 		OnDeliver: func(addr geonet.Address, p *geonet.Packet) {
 			t, ok := reg[p.Key()]
 			if !ok {
@@ -185,6 +208,9 @@ func RunOnceTraced(s Scenario, seed uint64, tr *trace.Tracer) RunResult {
 		w.Engine.ScheduleAt(t, "experiment.generate", generate)
 	}
 	w.Run(s.Duration + s.Drain)
+	// Flush the tail between the last probe firing and the end of the run
+	// so telemetry counters account for every event.
+	w.SampleTelemetry()
 
 	series := metrics.NewBinSeries(s.Duration, s.BinWidth)
 	for _, t := range reg {
@@ -202,7 +228,7 @@ func RunOnceTraced(s Scenario, seed uint64, tr *trace.Tracer) RunResult {
 			series.Add(t.sentAt, float64(len(t.received))/float64(len(t.targets)))
 		}
 	}
-	res := RunResult{Series: series, PacketsSent: len(reg), Protocol: w.ProtocolStats()}
+	res := RunResult{Series: series, PacketsSent: len(reg), Protocol: w.ProtocolStats(), Events: w.Engine.Executed()}
 	if atk != nil {
 		res.AttackerStats = atk.Stats()
 	}
@@ -224,9 +250,11 @@ type runJob struct {
 // runJobs executes every job on MaxParallel() workers pulling from one
 // shared queue. Jobs are independent seeded runs writing to disjoint
 // result slots, so the output is deterministic regardless of scheduling.
-// The returned error is the first done-callback failure (always nil for
-// untraced jobs); all jobs run to completion regardless.
-func runJobs(jobs []runJob) error {
+// A non-nil telemetry registry gives each worker its own worker="N" gauge
+// bundle, reused across that worker's runs. The returned error is the
+// first done-callback failure (always nil for untraced jobs); all jobs
+// run to completion regardless.
+func runJobs(jobs []runJob, reg *telemetry.Registry) error {
 	workers := MaxParallel()
 	if workers > len(jobs) {
 		workers = len(jobs)
@@ -237,10 +265,11 @@ func runJobs(jobs []runJob) error {
 	var firstErr error
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
+			gauges := telemetry.NewRunGauges(reg, worker)
 			for j := range ch {
-				*j.out = RunOnceTraced(j.s, j.seed, j.tr)
+				*j.out = RunOnceObserved(j.s, j.seed, Observe{Tracer: j.tr, Gauges: gauges})
 				if j.done != nil {
 					if err := j.done(); err != nil {
 						mu.Lock()
@@ -251,7 +280,7 @@ func runJobs(jobs []runJob) error {
 					}
 				}
 			}
-		}()
+		}(w)
 	}
 	for _, j := range jobs {
 		ch <- j
@@ -277,6 +306,7 @@ func mergeRuns(out []RunResult) RunResult {
 		merged.PacketsSent += r.PacketsSent
 		merged.AttackerStats.Add(r.AttackerStats)
 		merged.Protocol.Add(r.Protocol)
+		merged.Events += r.Events
 	}
 	return merged
 }
@@ -289,7 +319,7 @@ func RunArm(s Scenario, runs int) RunResult {
 		runs = 1
 	}
 	out := make([]RunResult, runs)
-	runJobs(armJobs(nil, s, out))
+	runJobs(armJobs(nil, s, out), nil)
 	return mergeRuns(out)
 }
 
@@ -334,7 +364,7 @@ func RunAB(s Scenario, runs int) metrics.ABResult {
 	jobs := make([]runJob, 0, 2*runs)
 	jobs = armJobs(jobs, s.withoutAttack(), freeOut)
 	jobs = armJobs(jobs, s, atkOut)
-	runJobs(jobs)
+	runJobs(jobs, nil)
 	// Spreads read per-run series and must run before mergeRuns, which
 	// folds every run into the first slot's series in place.
 	res := metrics.ABResult{

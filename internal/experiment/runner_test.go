@@ -29,14 +29,14 @@ func TestRunJobsFewerJobsThanWorkers(t *testing.T) {
 	// count and still execute everything exactly once.
 	s := tinyScenario()
 	out := make([]RunResult, 1)
-	runJobs(armJobs(nil, s, out))
+	runJobs(armJobs(nil, s, out), nil)
 	if out[0].Series == nil || out[0].PacketsSent == 0 {
 		t.Fatalf("single job not executed: %+v", out[0])
 	}
 }
 
 func TestRunJobsEmpty(t *testing.T) {
-	runJobs(nil) // must not deadlock or panic
+	runJobs(nil, nil) // must not deadlock or panic
 }
 
 func TestArmJobsSeedsAndSlots(t *testing.T) {

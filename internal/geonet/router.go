@@ -133,6 +133,12 @@ type Router struct {
 	updateFromDa bool
 	started      bool
 	stopped      bool
+	// cbfArmed counts packets currently holding an armed contention timer
+	// (incremented when contend schedules one, decremented exactly once
+	// when the contention resolves: fire, duplicate cancel, or Stop). A
+	// plain int kept on the router so the telemetry sampler reads occupancy
+	// without walking the state map.
+	cbfArmed int
 }
 
 // pktState tracks per-packet progress at this node.
@@ -238,6 +244,14 @@ func (r *Router) LocT() *LocT { return r.loct }
 // Stats returns a copy of the router counters.
 func (r *Router) Stats() Stats { return r.stats }
 
+// CBFArmed reports how many packets currently hold an armed
+// contention-based-forwarding timer at this router.
+func (r *Router) CBFArmed() int { return r.cbfArmed }
+
+// GFBufferLen reports how many packets sit in the store-carry-forward
+// (greedy-forwarding retry) buffer.
+func (r *Router) GFBufferLen() int { return len(r.retryTimers) }
+
 // Position reports the node's current position.
 func (r *Router) Position() geo.Point { return r.cfg.Position() }
 
@@ -284,6 +298,7 @@ func (r *Router) Stop() {
 			st.cbfTimer.Cancel()
 			if !st.cbfResolved {
 				st.cbfResolved = true
+				r.cbfArmed--
 				armed = append(armed, k)
 			}
 		}
@@ -579,6 +594,7 @@ func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
 			// (vulnerability: no check of WHO that someone is).
 			st.cbfResolved = true
 			st.cbfTimer.Cancel()
+			r.cbfArmed--
 			r.drop(p, f.From, trace.ReasonCBFCanceled, trace.KindArm)
 		} else {
 			r.drop(p, f.From, trace.ReasonDupIgnored, trace.KindNone)
@@ -610,12 +626,14 @@ func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
 	buffered := p.Fork()
 	r.stats.CBFBuffered++
 	r.emit(trace.EvCBFArm, trace.KindArm, trace.ReasonNone, p, f.From)
+	r.cbfArmed++
 	st.cbfTimer = r.cfg.Engine.Schedule(to, "geonet.cbf", func() {
 		if r.stopped || st.cbfResolved {
 			return
 		}
 		st.cbfResolved = true
 		st.cbfForwarded = true
+		r.cbfArmed--
 		out := buffered
 		out.Basic.RHL = st.cbfSendRHL
 		r.stats.CBFForwarded++

@@ -215,9 +215,10 @@ func (r ABResult) Summarize() Summary {
 // String implements fmt.Stringer.
 func (s Summary) String() string {
 	if s.DropSpread.Runs > 1 {
-		return fmt.Sprintf("free=%.1f%% attacked=%.1f%% drop=%.1f%% (per-run σ=%.1f, 95%% CI %.1f–%.1f%%)",
+		return fmt.Sprintf("free=%.1f%% attacked=%.1f%% drop=%.1f%% (per-run σ=%.1f, 95%% CI %.1f–%.1f%%, range %.1f–%.1f%%)",
 			100*s.FreeRate, 100*s.AttackedRate, 100*s.Drop,
-			100*s.DropSpread.Stddev, 100*s.DropSpread.CILow, 100*s.DropSpread.CIHigh)
+			100*s.DropSpread.Stddev, 100*s.DropSpread.CILow, 100*s.DropSpread.CIHigh,
+			100*s.DropSpread.Min, 100*s.DropSpread.Max)
 	}
 	return fmt.Sprintf("free=%.1f%% attacked=%.1f%% drop=%.1f%%",
 		100*s.FreeRate, 100*s.AttackedRate, 100*s.Drop)

@@ -14,14 +14,49 @@ type Stream struct {
 	Mean float64
 	// M2 is the running sum of squared deviations from the mean.
 	M2 float64
+	// Min and Max track the sample extremes (meaningful only when N > 0).
+	Min float64
+	Max float64
 }
 
 // Add folds one sample into the stream.
 func (s *Stream) Add(x float64) {
+	if s.N == 0 || x < s.Min {
+		s.Min = x
+	}
+	if s.N == 0 || x > s.Max {
+		s.Max = x
+	}
 	s.N++
 	d := x - s.Mean
 	s.Mean += d / float64(s.N)
 	s.M2 += d * (x - s.Mean)
+}
+
+// Merge folds another stream into s using the pairwise (Chan et al.)
+// combination of Welford moments. N, Min, and Max merge exactly in any
+// order; Mean and M2 are order-independent up to floating-point rounding,
+// so code that needs bit-identical aggregates (the campaign aggregator)
+// must still feed or merge in a canonical order.
+func (s *Stream) Merge(o Stream) {
+	if o.N == 0 {
+		return
+	}
+	if s.N == 0 {
+		*s = o
+		return
+	}
+	n := s.N + o.N
+	d := o.Mean - s.Mean
+	s.M2 += o.M2 + d*d*float64(s.N)*float64(o.N)/float64(n)
+	s.Mean += d * float64(o.N) / float64(n)
+	s.N = n
+	if o.Min < s.Min {
+		s.Min = o.Min
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
 }
 
 // Variance returns the sample variance (0 for fewer than two samples).
@@ -49,18 +84,21 @@ func (s *Stream) CI95() (lo, hi float64) {
 // Spread snapshots the stream's scalar statistics.
 func (s *Stream) Spread() Spread {
 	lo, hi := s.CI95()
-	return Spread{Runs: s.N, Mean: s.Mean, Stddev: s.Stddev(), CILow: lo, CIHigh: hi}
+	return Spread{Runs: s.N, Mean: s.Mean, Stddev: s.Stddev(), CILow: lo, CIHigh: hi, Min: s.Min, Max: s.Max}
 }
 
 // Spread reports per-run dispersion of a repeated measurement: sample
-// mean, sample standard deviation, and the 95% confidence interval of the
-// mean. The zero value means "not measured" (single merged result).
+// mean, sample standard deviation, the 95% confidence interval of the
+// mean, and the observed extremes. The zero value means "not measured"
+// (single merged result).
 type Spread struct {
 	Runs   int     `json:"runs"`
 	Mean   float64 `json:"mean"`
 	Stddev float64 `json:"stddev"`
 	CILow  float64 `json:"ci95_low"`
 	CIHigh float64 `json:"ci95_high"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
 }
 
 // tTable holds two-sided 95% Student-t critical values for df 1..30.

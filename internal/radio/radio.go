@@ -203,6 +203,26 @@ type Stats struct {
 	UnicastLost uint64 // unicast frames whose target was out of range
 }
 
+// PoolStats counts free-list reuse across the medium's three pools
+// (delivery slices, frame caches, payload buffers). A miss is a fresh
+// allocation; after warm-up the hit ratio should approach 1, and the
+// telemetry sampler exports both sides so a pool regression shows up as
+// a climbing miss counter.
+type PoolStats struct {
+	DeliveryHits   uint64
+	DeliveryMisses uint64
+	CacheHits      uint64
+	CacheMisses    uint64
+	PayloadHits    uint64
+	PayloadMisses  uint64
+}
+
+// Hits sums reuse hits across the three pools.
+func (p PoolStats) Hits() uint64 { return p.DeliveryHits + p.CacheHits + p.PayloadHits }
+
+// Misses sums fresh allocations across the three pools.
+func (p PoolStats) Misses() uint64 { return p.DeliveryMisses + p.CacheMisses + p.PayloadMisses }
+
 // Antenna is one node's attachment to the medium.
 type Antenna struct {
 	id     NodeID
@@ -282,7 +302,11 @@ type Medium struct {
 	edgeFactor   float64
 	seed         uint64
 	stats        Stats
+	poolStats    PoolStats
 	tracer       *trace.Tracer
+	// inflight counts transmissions whose delivery event has not yet run —
+	// the "frames on the air" gauge the telemetry sampler reads.
+	inflight int
 
 	// Spatial index over antenna positions.
 	cellSize  float64
@@ -421,6 +445,13 @@ func (m *Medium) edgeHash(from, to NodeID, bucket uint64) float64 {
 
 // Stats returns a copy of the medium counters.
 func (m *Medium) Stats() Stats { return m.stats }
+
+// PoolStats returns a copy of the free-list reuse counters.
+func (m *Medium) PoolStats() PoolStats { return m.poolStats }
+
+// InFlight reports how many transmissions are scheduled but not yet
+// delivered.
+func (m *Medium) InFlight() int { return m.inflight }
 
 // Latency reports the configured delivery delay.
 func (m *Medium) Latency() time.Duration { return m.latency }
@@ -639,7 +670,9 @@ func (m *Medium) send(from *Antenna, to NodeID, payload []byte, pooled bool) Fra
 	// delivery event, and the returned frame must stay inert.
 	fd := f
 	fd.Cache = m.grabCache()
+	m.inflight++
 	m.engine.ScheduleTransient(m.latency, "radio.deliver", func() {
+		m.inflight--
 		m.deliver(fd, targets, targetReached)
 		m.releaseCache(fd.Cache)
 		if pooled {
@@ -745,8 +778,10 @@ func (m *Medium) grabDelivery() []delivery {
 	if n := len(m.pool); n > 0 {
 		s := m.pool[n-1]
 		m.pool = m.pool[:n-1]
+		m.poolStats.DeliveryHits++
 		return s
 	}
+	m.poolStats.DeliveryMisses++
 	return make([]delivery, 0, 16)
 }
 
@@ -764,8 +799,10 @@ func (m *Medium) grabCache() *FrameCache {
 	if n := len(m.cachePool); n > 0 {
 		c := m.cachePool[n-1]
 		m.cachePool = m.cachePool[:n-1]
+		m.poolStats.CacheHits++
 		return c
 	}
+	m.poolStats.CacheMisses++
 	return &FrameCache{}
 }
 
@@ -782,8 +819,10 @@ func (m *Medium) GrabPayload() []byte {
 	if n := len(m.payloadPool); n > 0 {
 		b := m.payloadPool[n-1]
 		m.payloadPool = m.payloadPool[:n-1]
+		m.poolStats.PayloadHits++
 		return b
 	}
+	m.poolStats.PayloadMisses++
 	return make([]byte, 0, 256)
 }
 

@@ -95,6 +95,10 @@ type CurveResult struct {
 	Collision   bool
 	CollisionAt time.Duration
 	MinGap      float64 // closest approach while V1 was in V2's lane
+
+	// Events counts simulation events executed by the run (per-cell
+	// resource accounting; deterministic for a given config).
+	Events uint64
 }
 
 // RunCurve executes the blind-curve scenario of Figure 13.
@@ -231,5 +235,6 @@ func RunCurve(cfg CurveConfig) CurveResult {
 
 	engine.Run(cfg.Duration)
 	res.RSURelayed = rsu.Stats().CBFForwarded > 0
+	res.Events = engine.Executed()
 	return res
 }

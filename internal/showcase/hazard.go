@@ -64,6 +64,10 @@ type HazardResult struct {
 	// GateClosedAt is when the entrance learned of the hazard; zero when
 	// the notification never arrived (successful attack).
 	GateClosedAt time.Duration
+	// Events counts simulation events executed by the run — the
+	// determinism-stable work measure used by per-cell resource
+	// accounting.
+	Events uint64
 }
 
 func (c *HazardConfig) setDefaults() {
@@ -175,5 +179,6 @@ func RunHazard(cfg HazardConfig) HazardResult {
 	}
 
 	w.Run(cfg.Duration)
+	res.Events = w.Engine.Executed()
 	return res
 }

@@ -56,6 +56,11 @@ type Engine struct {
 	// free recycles Event objects for ScheduleTransient. Sync-free: the
 	// engine is single-threaded.
 	free []*Event
+	// probe is an observation hook invoked from the Run loop every
+	// probeEvery executed events (see SetProbe).
+	probeEvery uint64
+	probeLeft  uint64
+	probeFn    func()
 }
 
 // NewEngine constructs an engine with a deterministic RNG derived from
@@ -81,6 +86,24 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Pending reports how many events are queued (including canceled events
 // that have not yet been popped).
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// SetProbe installs an observation hook invoked from the Run loop after
+// every `every` executed events. The hook runs at an event boundary on
+// the engine goroutine, so it may read engine and scenario state freely —
+// but it must not schedule events, cancel events, or draw from Rand:
+// probes are pure observers, and determinism depends on the event stream
+// being identical with or without one. Telemetry samplers publish
+// snapshots into atomic cells here. every == 0 or fn == nil removes the
+// probe.
+func (e *Engine) SetProbe(every uint64, fn func()) {
+	if every == 0 || fn == nil {
+		e.probeEvery, e.probeLeft, e.probeFn = 0, 0, nil
+		return
+	}
+	e.probeEvery = every
+	e.probeLeft = every
+	e.probeFn = fn
+}
 
 // Schedule runs fn after delay. A negative delay is an error in the caller;
 // it panics to surface scheduling bugs immediately.
@@ -188,6 +211,12 @@ func (e *Engine) Run(until time.Duration) uint64 {
 		if ev.pooled {
 			ev.fn = nil // release the closure before pooling
 			e.free = append(e.free, ev)
+		}
+		if e.probeFn != nil {
+			if e.probeLeft--; e.probeLeft == 0 {
+				e.probeLeft = e.probeEvery
+				e.probeFn()
+			}
 		}
 	}
 	if e.now < until {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
@@ -334,5 +335,66 @@ func TestScheduleTransientReusesPooledEvents(t *testing.T) {
 	}
 	if len(e.free) != 1 {
 		t.Fatalf("free list holds %d events, want 1 steady-state object", len(e.free))
+	}
+}
+
+func TestSetProbeFiresEveryN(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	var at []uint64
+	e.SetProbe(3, func() {
+		fired++
+		at = append(at, e.Executed())
+	})
+	for i := 0; i < 10; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, "ev", func() {})
+	}
+	e.Run(time.Second)
+	if fired != 3 {
+		t.Fatalf("probe fired %d times over 10 events, want 3", fired)
+	}
+	// The probe observes the engine after the Nth event completed.
+	want := []uint64{3, 6, 9}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("probe executed counts = %v, want %v", at, want)
+		}
+	}
+}
+
+func TestSetProbeDisable(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.SetProbe(1, func() { fired++ })
+	e.SetProbe(0, nil)
+	e.Schedule(0, "ev", func() {})
+	e.Run(time.Second)
+	if fired != 0 {
+		t.Fatalf("disabled probe fired %d times", fired)
+	}
+}
+
+func TestSetProbeDoesNotPerturbExecution(t *testing.T) {
+	// The probe is a pure observer: the executed event sequence and the
+	// engine's RNG stream must be identical with and without one.
+	run := func(probe bool) (seq []time.Duration, draws []uint64) {
+		e := NewEngine(99)
+		if probe {
+			e.SetProbe(2, func() {})
+		}
+		for i := 0; i < 20; i++ {
+			d := time.Duration(i%7) * time.Millisecond
+			e.Schedule(d, "ev", func() {
+				seq = append(seq, e.Now())
+				draws = append(draws, e.Rand().Uint64())
+			})
+		}
+		e.Run(time.Second)
+		return seq, draws
+	}
+	s1, d1 := run(false)
+	s2, d2 := run(true)
+	if !reflect.DeepEqual(s1, s2) || !reflect.DeepEqual(d1, d2) {
+		t.Fatal("probe changed the event sequence or RNG stream")
 	}
 }

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition
+// format (version 0.0.4): one # HELP and # TYPE line per metric name,
+// followed by one sample line per label combination. Metric families keep
+// registration order; series within a family sort by label identity. A
+// nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	lastName := ""
+	for _, m := range r.snapshotMetrics() {
+		if m.name != lastName {
+			if m.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.name, escapeHelp(m.help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
+			lastName = m.name
+		}
+		bw.WriteString(m.name)
+		if len(m.labels) > 0 {
+			bw.WriteByte('{')
+			for i, l := range m.labels {
+				if i > 0 {
+					bw.WriteByte(',')
+				}
+				fmt.Fprintf(bw, "%s=%q", l.Key, l.Value)
+			}
+			bw.WriteByte('}')
+		}
+		bw.WriteByte(' ')
+		bw.WriteString(formatValue(m.value()))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// escapeHelp escapes backslashes and newlines per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip float, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Sample is one time series in a JSON snapshot.
+type Sample struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// Snapshot runs the collect hooks and returns every series' current
+// value, in the same deterministic order as WritePrometheus. Nil registry
+// returns nil.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	ms := r.snapshotMetrics()
+	out := make([]Sample, 0, len(ms))
+	for _, m := range ms {
+		s := Sample{Name: m.name, Kind: m.kind.String(), Value: m.value()}
+		if len(m.labels) > 0 {
+			s.Labels = make(map[string]string, len(m.labels))
+			for _, l := range m.labels {
+				s.Labels[l.Key] = l.Value
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as an indented JSON array — the payload
+// of the /telemetry.json endpoint and of debug dumps.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	samples := r.Snapshot()
+	if samples == nil {
+		samples = []Sample{}
+	}
+	return enc.Encode(samples)
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// The exposition-format grammar we accept, per Prometheus text format
+// 0.0.4. Metric and label names are the documented identifier classes;
+// label values are quoted strings with \\, \", and \n escapes.
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	sampleRE     = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)(\s+-?\d+)?$`)
+)
+
+// ValidateExposition strictly parses a Prometheus text-format stream and
+// returns an error describing the first malformed line. It checks metric
+// and label name grammar, quoting, value syntax, that every sample's
+// metric was announced by a preceding # TYPE line with a known type, and
+// that no (name, labelset) appears twice. CI runs this against a live
+// /metrics scrape.
+func ValidateExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := make(map[string]string)
+	seen := make(map[string]bool)
+	samples := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !metricNameRE.MatchString(name) {
+				return fmt.Errorf("line %d: bad metric name in HELP: %q", lineNo, name)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: malformed TYPE line", lineNo)
+			}
+			name, typ := fields[0], fields[1]
+			if !metricNameRE.MatchString(name) {
+				return fmt.Errorf("line %d: bad metric name in TYPE: %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := types[name]; dup {
+				return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		m := sampleRE.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample line: %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[2], m[3]
+		if _, ok := types[name]; !ok {
+			return fmt.Errorf("line %d: sample %q has no preceding TYPE line", lineNo, name)
+		}
+		if labels != "" {
+			if err := validateLabels(labels); err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		}
+		switch value {
+		case "+Inf", "-Inf", "NaN":
+		default:
+			if _, err := strconv.ParseFloat(value, 64); err != nil {
+				return fmt.Errorf("line %d: bad sample value %q", lineNo, value)
+			}
+		}
+		key := name + labels
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %q", lineNo, key)
+		}
+		seen[key] = true
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	return nil
+}
+
+// validateLabels checks a {k="v",...} block.
+func validateLabels(block string) error {
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	if inner == "" {
+		return nil
+	}
+	for len(inner) > 0 {
+		eq := strings.Index(inner, "=")
+		if eq < 0 {
+			return fmt.Errorf("label pair missing '=': %q", inner)
+		}
+		name := inner[:eq]
+		if !labelNameRE.MatchString(name) {
+			return fmt.Errorf("bad label name %q", name)
+		}
+		rest := inner[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return fmt.Errorf("label value for %q not quoted", name)
+		}
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value for %q", name)
+		}
+		inner = rest[end+1:]
+		if strings.HasPrefix(inner, ",") {
+			inner = inner[1:]
+		} else if inner != "" {
+			return fmt.Errorf("trailing garbage after label %q", name)
+		}
+	}
+	return nil
+}

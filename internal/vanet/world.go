@@ -14,6 +14,7 @@ import (
 	"github.com/vanetsec/georoute/internal/radio"
 	"github.com/vanetsec/georoute/internal/security"
 	"github.com/vanetsec/georoute/internal/sim"
+	"github.com/vanetsec/georoute/internal/telemetry"
 	"github.com/vanetsec/georoute/internal/trace"
 	"github.com/vanetsec/georoute/internal/traffic"
 )
@@ -66,6 +67,13 @@ type Config struct {
 	// Tracer, when non-nil, is threaded into the radio medium and every
 	// router stack, recording each packet's lifecycle (see internal/trace).
 	Tracer *trace.Tracer
+
+	// Telemetry, when non-nil, receives runtime-health samples (queue
+	// depth, events/sec, CBF occupancy, ...) published from an engine
+	// probe every TelemetryProbeInterval events. Sampling is pure
+	// observation: the event stream, and therefore every result, is
+	// identical with or without it (see internal/telemetry).
+	Telemetry *telemetry.RunGauges
 }
 
 // World is one assembled simulation run.
@@ -80,6 +88,8 @@ type World struct {
 	// detached accumulates the protocol counters of routers stopped when
 	// their vehicle left the road, so ProtocolStats covers the whole run.
 	detached geonet.Stats
+	// telemetry is the engine-probe sampler, nil when telemetry is off.
+	telemetry *sampler
 }
 
 // New assembles a world. Vehicles present after prepopulation already
@@ -110,6 +120,10 @@ func New(cfg Config) *World {
 		// medium's spatial index right after keeps receiver lookups exact.
 		OnStep: w.Medium.SyncPositions,
 	})
+	if cfg.Telemetry != nil {
+		w.telemetry = &sampler{w: w, gauges: cfg.Telemetry}
+		w.telemetry.attach()
+	}
 	return w
 }
 
