@@ -278,6 +278,7 @@ func (r *Router) Stop() {
 	r.stopped = true
 	if r.beaconTimer != nil {
 		r.beaconTimer.Cancel()
+		r.beaconTimer = nil
 	}
 	// Drain the holding states in key order so traced runs emit the Stop
 	// drops deterministically (both maps iterate in random order).
@@ -294,13 +295,16 @@ func (r *Router) Stop() {
 	}
 	var armed []Key
 	for k, st := range r.state {
-		if st.cbfTimer != nil {
+		// Only unresolved contentions still hold a pending timer; resolved
+		// ones fired or were canceled, and the engine has recycled those
+		// event objects — canceling through the stale handle would hit an
+		// unrelated event.
+		if st.cbfTimer != nil && !st.cbfResolved {
 			st.cbfTimer.Cancel()
-			if !st.cbfResolved {
-				st.cbfResolved = true
-				r.cbfArmed--
-				armed = append(armed, k)
-			}
+			st.cbfTimer = nil
+			st.cbfResolved = true
+			r.cbfArmed--
+			armed = append(armed, k)
 		}
 	}
 	sortKeys(armed)
@@ -355,6 +359,9 @@ func (r *Router) pv() PositionVector {
 }
 
 func (r *Router) beaconTick() {
+	// The event that invoked us has fired and its object may be recycled;
+	// forget the handle before doing anything that could schedule.
+	r.beaconTimer = nil
 	if r.stopped {
 		return
 	}
@@ -594,6 +601,7 @@ func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
 			// (vulnerability: no check of WHO that someone is).
 			st.cbfResolved = true
 			st.cbfTimer.Cancel()
+			st.cbfTimer = nil
 			r.cbfArmed--
 			r.drop(p, f.From, trace.ReasonCBFCanceled, trace.KindArm)
 		} else {
@@ -628,6 +636,9 @@ func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
 	r.emit(trace.EvCBFArm, trace.KindArm, trace.ReasonNone, p, f.From)
 	r.cbfArmed++
 	st.cbfTimer = r.cfg.Engine.Schedule(to, "geonet.cbf", func() {
+		// The firing event's handle is dead either way (the engine recycles
+		// fired events); drop it so no later path cancels through it.
+		st.cbfTimer = nil
 		if r.stopped || st.cbfResolved {
 			return
 		}

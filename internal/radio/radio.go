@@ -252,6 +252,11 @@ type Antenna struct {
 	gridX    float64
 	cell     int64
 	extended bool
+	// orderIdx is the antenna's slot in Medium.order, kept current by
+	// swap-removal so Detach is O(1) even in 100k-node worlds. Nothing
+	// order-sensitive iterates Medium.order (Send sorts candidates by
+	// seq), so the slice is free to reorder.
+	orderIdx int
 }
 
 // ID reports the antenna's node ID.
@@ -297,7 +302,7 @@ type Medium struct {
 	engine       *sim.Engine
 	latency      time.Duration
 	nodes        map[NodeID]*Antenna
-	order        []*Antenna // deterministic iteration order
+	order        []*Antenna // all attached antennas; unordered (swap-removal), see Antenna.orderIdx
 	obstructions []Obstruction
 	edgeFactor   float64
 	seed         uint64
@@ -468,6 +473,7 @@ func (m *Medium) Attach(id NodeID, rangeM float64, pos func() geo.Point, recv Re
 	a.seq = m.attachSeq
 	m.attachSeq++
 	m.nodes[id] = a
+	a.orderIdx = len(m.order)
 	m.order = append(m.order, a)
 	m.ensureCellSize(rangeM)
 	m.insertIndex(a)
@@ -483,12 +489,14 @@ func (m *Medium) Detach(id NodeID) {
 	}
 	a.removed = true
 	delete(m.nodes, id)
-	for i, n := range m.order {
-		if n == a {
-			m.order = append(m.order[:i], m.order[i+1:]...)
-			break
-		}
+	last := len(m.order) - 1
+	if a.orderIdx != last {
+		moved := m.order[last]
+		m.order[a.orderIdx] = moved
+		moved.orderIdx = a.orderIdx
 	}
+	m.order[last] = nil
+	m.order = m.order[:last]
 	m.removeIndex(a)
 }
 

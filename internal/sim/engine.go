@@ -1,37 +1,71 @@
 // Package sim implements a deterministic discrete-event simulation engine.
 //
-// The engine keeps a binary heap of timestamped events and executes them in
-// (time, insertion) order, so two runs with the same seed and the same
-// scenario produce identical traces. Simulated time is a time.Duration
-// measured from the start of the run, giving nanosecond resolution — far
-// finer than the millisecond-scale CBF contention timers the GeoNetworking
-// experiments depend on.
+// The engine executes timestamped events in (time, insertion) order, so two
+// runs with the same seed and the same scenario produce identical traces.
+// Simulated time is a time.Duration measured from the start of the run,
+// giving nanosecond resolution — far finer than the millisecond-scale CBF
+// contention timers the GeoNetworking experiments depend on.
+//
+// Two interchangeable queue implementations back the scheduler: a
+// hierarchical timing wheel (the default — O(1) schedule and pop for the
+// short-horizon events that dominate VANET workloads: CBF contention
+// timers, beacon jitter, radio propagation latency) and the original
+// binary heap, kept behind NewEngineWithQueue for differential testing.
+// Both order events by (time, sequence), so their event streams are
+// bit-identical.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand/v2"
 	"time"
 )
 
+// Event lifecycle states. An Event object is owned by the engine: once it
+// has fired or been canceled the handle must not be used again (the engine
+// recycles fired events into a free pool so steady-state scheduling does
+// not allocate).
+const (
+	stateIdle      uint8 = iota // pooled / never scheduled
+	stateScheduled              // queued, waiting to fire
+	stateFired                  // executed (object may be recycled)
+	stateCanceled               // canceled before firing
+)
+
+// Where the event is physically queued, for Cancel to find it.
+const (
+	whereNone     uint8 = iota // not in any container
+	whereSlot                  // intrusive wheel-slot list (O(1) unlink)
+	whereReady                 // wheel drain buffer, sorted (lazy cancel)
+	whereOverflow              // wheel overflow heap (lazy cancel)
+	whereHeap                  // binary-heap queue (lazy cancel)
+)
+
 // Event is a scheduled callback. It is returned by the scheduling methods
 // so callers can cancel it (e.g. a CBF contention timer stopped by a
-// duplicate packet).
+// duplicate packet). Handles are single-use: after the event fires or is
+// canceled, drop the reference — the engine recycles fired event objects,
+// so a retained handle may alias a different, later event.
 type Event struct {
-	at     time.Duration
-	seq    uint64
-	name   string
-	fn     func()
-	index  int // heap index, -1 once removed
-	cancel bool
-	// pooled events were created by ScheduleTransient: no handle exists,
-	// so the engine recycles the object once the event has fired.
+	at   time.Duration
+	seq  uint64
+	name string
+	fn   func()
+
+	// Intrusive links for the wheel-slot doubly-linked lists. slot points
+	// at the containing slot so Cancel can unlink in O(1).
+	prev, next *Event
+	slot       *wheelSlot
+
+	eng   *Engine
+	state uint8
+	where uint8
+	// pooled events were created by ScheduleTransient: no handle exists.
 	pooled bool
 }
 
 // Canceled reports whether Cancel was called on the event.
-func (e *Event) Canceled() bool { return e.cancel }
+func (e *Event) Canceled() bool { return e.state == stateCanceled }
 
 // At reports the simulated time the event fires (or would have fired).
 func (e *Event) At() time.Duration { return e.at }
@@ -40,36 +74,96 @@ func (e *Event) At() time.Duration { return e.at }
 func (e *Event) Name() string { return e.name }
 
 // Cancel prevents a pending event from running. Canceling an event that
-// already ran or was already canceled is a no-op.
-func (e *Event) Cancel() { e.cancel = true }
+// already ran or was already canceled is a no-op. Events sitting in a
+// wheel slot are unlinked immediately (O(1)); events in the overflow or
+// heap queues are marked and reclaimed when they surface.
+func (e *Event) Cancel() {
+	if e.state != stateScheduled {
+		return
+	}
+	e.state = stateCanceled
+	eng := e.eng
+	eng.live--
+	switch e.where {
+	case whereSlot:
+		e.slot.unlink(e)
+		e.where = whereNone
+		e.slot = nil
+		e.fn = nil
+		eng.wheel.count--
+		// Canceled handles are left to the GC rather than pooled: a stale
+		// double-Cancel on a recycled object would kill an innocent event.
+	case whereReady, whereOverflow, whereHeap:
+		// Lazy: the pop path reclaims it (and its pool slot) on surfacing.
+		e.fn = nil
+		eng.canceledPending++
+	}
+}
+
+// QueueKind selects the scheduler implementation backing an Engine.
+type QueueKind int
+
+const (
+	// QueueWheel is the hierarchical timing wheel (default).
+	QueueWheel QueueKind = iota
+	// QueueHeap is the original binary heap, kept for differential testing
+	// and as a fallback.
+	QueueHeap
+)
 
 // Engine is a single-threaded discrete-event scheduler. The zero value is
 // not usable; construct with NewEngine.
 type Engine struct {
 	now     time.Duration
-	queue   eventQueue
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
 	// Executed counts events that have run, for introspection and tests.
 	executed uint64
-	// free recycles Event objects for ScheduleTransient. Sync-free: the
-	// engine is single-threaded.
+	// live counts scheduled events that are neither fired nor canceled;
+	// canceledPending counts canceled events still physically queued
+	// (lazy cancellation in the overflow/heap paths).
+	live            int
+	canceledPending int
+	// free recycles Event objects for Schedule and ScheduleTransient.
+	// Sync-free: the engine is single-threaded.
 	free []*Event
 	// probe is an observation hook invoked from the Run loop every
 	// probeEvery executed events (see SetProbe).
 	probeEvery uint64
 	probeLeft  uint64
 	probeFn    func()
+
+	// Exactly one of wheel/heap is active, per the QueueKind.
+	wheel *wheel
+	heap  *eventHeap
 }
 
 // NewEngine constructs an engine with a deterministic RNG derived from
-// seed. Engines are not safe for concurrent use; run one engine per
-// goroutine and aggregate results afterwards.
+// seed, backed by the timing-wheel scheduler. Engines are not safe for
+// concurrent use; run one engine per goroutine and aggregate results
+// afterwards.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{
+	return NewEngineWithQueue(seed, QueueWheel)
+}
+
+// NewEngineWithQueue constructs an engine with an explicit scheduler
+// implementation. Both kinds execute identical event sequences (the
+// differential property test enforces it); the heap exists so regressions
+// in the wheel are detectable against a trivially-correct baseline.
+func NewEngineWithQueue(seed uint64, kind QueueKind) *Engine {
+	e := &Engine{
 		rng: rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15)),
 	}
+	switch kind {
+	case QueueWheel:
+		e.wheel = newWheel()
+	case QueueHeap:
+		e.heap = &eventHeap{}
+	default:
+		panic(fmt.Sprintf("sim: unknown queue kind %d", kind))
+	}
+	return e
 }
 
 // Now reports the current simulated time.
@@ -83,9 +177,43 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Executed reports how many events have run so far.
 func (e *Engine) Executed() uint64 { return e.executed }
 
-// Pending reports how many events are queued (including canceled events
-// that have not yet been popped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports how many events are physically queued, including
+// lazily-canceled events that have not yet been reclaimed. The wheel
+// unlinks canceled slot events immediately, so there Pending tracks
+// PendingLive closely; the heap carries every canceled event until its
+// deadline surfaces.
+func (e *Engine) Pending() int { return e.live + e.canceledPending }
+
+// PendingLive reports how many scheduled events will actually fire —
+// Pending minus the canceled ones awaiting lazy reclamation. Use this for
+// occupancy accounting: long-lived canceled CBF timers otherwise inflate
+// the count.
+func (e *Engine) PendingLive() int { return e.live }
+
+// QueueStats is a point-in-time snapshot of scheduler occupancy, published
+// through the telemetry sampler.
+type QueueStats struct {
+	// Live is the number of events that will fire (== PendingLive).
+	Live int
+	// CanceledPending counts canceled events still physically queued.
+	CanceledPending int
+	// Overflow is the number of far-future events beyond the wheel
+	// horizon (always 0 for the heap engine).
+	Overflow int
+	// MaxSlotDepth is the deepest wheel slot (0 for the heap engine).
+	MaxSlotDepth int
+}
+
+// QueueStats snapshots scheduler occupancy. The wheel walk is O(slots);
+// callers sample it from probes, not per event.
+func (e *Engine) QueueStats() QueueStats {
+	s := QueueStats{Live: e.live, CanceledPending: e.canceledPending}
+	if e.wheel != nil {
+		s.Overflow = len(e.wheel.overflow.items)
+		s.MaxSlotDepth = e.wheel.maxSlotDepth()
+	}
+	return s
+}
 
 // SetProbe installs an observation hook invoked from the Run loop after
 // every `every` executed events. The hook runs at an event boundary on
@@ -105,6 +233,36 @@ func (e *Engine) SetProbe(every uint64, fn func()) {
 	e.probeFn = fn
 }
 
+// alloc grabs a pooled Event object or allocates a fresh one.
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		*ev = Event{}
+		return ev
+	}
+	return &Event{}
+}
+
+// enqueue stamps and queues an event. The caller validated `at`.
+func (e *Engine) enqueue(ev *Event, at time.Duration, name string, fn func(), pooled bool) {
+	ev.at = at
+	ev.seq = e.seq
+	ev.name = name
+	ev.fn = fn
+	ev.pooled = pooled
+	ev.eng = e
+	ev.state = stateScheduled
+	e.seq++
+	e.live++
+	if e.wheel != nil {
+		e.wheel.push(ev, e.now)
+	} else {
+		ev.where = whereHeap
+		e.heap.push(ev)
+	}
+}
+
 // Schedule runs fn after delay. A negative delay is an error in the caller;
 // it panics to surface scheduling bugs immediately.
 func (e *Engine) Schedule(delay time.Duration, name string, fn func()) *Event {
@@ -120,36 +278,22 @@ func (e *Engine) ScheduleAt(t time.Duration, name string, fn func()) *Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event %q scheduled at %v before now %v", name, t, e.now))
 	}
-	ev := &Event{at: t, seq: e.seq, name: name, fn: fn}
-	e.seq++
-	heap.Push(&e.queue, ev)
+	ev := e.alloc()
+	e.enqueue(ev, t, name, fn, false)
 	return ev
 }
 
 // ScheduleTransient runs fn after delay, like Schedule, but returns no
-// handle: transient events cannot be canceled or inspected, which lets
-// the engine recycle the event object after it fires instead of
-// allocating a fresh one per call. Use it for high-volume
-// fire-and-forget events (e.g. per-frame radio deliveries).
+// handle: transient events cannot be canceled or inspected. Use it for
+// high-volume fire-and-forget events (e.g. per-frame radio deliveries).
+// Both Schedule and ScheduleTransient recycle event objects through the
+// engine's free pool, so neither allocates in steady state.
 func (e *Engine) ScheduleTransient(delay time.Duration, name string, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for event %q", delay, name))
 	}
-	var ev *Event
-	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
-		e.free = e.free[:n-1]
-		*ev = Event{}
-	} else {
-		ev = &Event{}
-	}
-	ev.at = e.now + delay
-	ev.seq = e.seq
-	ev.name = name
-	ev.fn = fn
-	ev.pooled = true
-	e.seq++
-	heap.Push(&e.queue, ev)
+	ev := e.alloc()
+	e.enqueue(ev, e.now+delay, name, fn, true)
 }
 
 // Every schedules fn at t0, t0+period, t0+2·period, ... until the engine
@@ -174,6 +318,10 @@ type Ticker struct {
 }
 
 func (t *Ticker) tick() {
+	// The event that invoked us has fired; its handle is dead (the engine
+	// recycles fired events), so clear it before anything else can Cancel
+	// through it.
+	t.ev = nil
 	if t.stopped {
 		return
 	}
@@ -183,11 +331,45 @@ func (t *Ticker) tick() {
 	}
 }
 
-// Stop cancels future ticks.
+// Stop cancels future ticks. Safe to call multiple times, from inside the
+// ticker's own callback, or after the engine stopped.
 func (t *Ticker) Stop() {
 	t.stopped = true
 	if t.ev != nil {
 		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// popNext removes and returns the earliest live event with at <= until,
+// or nil if none. Lazily-canceled events surfacing on the way are
+// reclaimed here (their pool slot included), which is what keeps a
+// long-lived storm of canceled CBF timers from bloating the queue.
+func (e *Engine) popNext(until time.Duration) *Event {
+	if e.wheel != nil {
+		return e.wheel.pop(until, e)
+	}
+	for {
+		ev := e.heap.popIfDue(until)
+		if ev == nil {
+			return nil
+		}
+		if ev.state == stateCanceled {
+			e.reclaimCanceled(ev)
+			continue
+		}
+		return ev
+	}
+}
+
+// reclaimCanceled retires a lazily-canceled event surfacing from a queue.
+func (e *Engine) reclaimCanceled(ev *Event) {
+	e.canceledPending--
+	ev.where = whereNone
+	ev.fn = nil
+	if ev.pooled {
+		// No handle exists, so the object is safe to recycle immediately.
+		e.free = append(e.free, ev)
 	}
 }
 
@@ -196,22 +378,23 @@ func (t *Ticker) Stop() {
 // events executed by this call.
 func (e *Engine) Run(until time.Duration) uint64 {
 	start := e.executed
-	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
-		if ev.at > until {
+	for !e.stopped {
+		ev := e.popNext(until)
+		if ev == nil {
 			break
 		}
-		heap.Pop(&e.queue)
-		if ev.cancel {
-			continue
-		}
 		e.now = ev.at
-		ev.fn()
+		fn := ev.fn
+		ev.fn = nil
+		ev.state = stateFired
+		ev.where = whereNone
+		ev.slot = nil
+		e.live--
+		fn()
 		e.executed++
-		if ev.pooled {
-			ev.fn = nil // release the closure before pooling
-			e.free = append(e.free, ev)
-		}
+		// Recycle the object. Handles are single-use by contract, so fired
+		// Schedule events pool exactly like transient ones.
+		e.free = append(e.free, ev)
 		if e.probeFn != nil {
 			if e.probeLeft--; e.probeLeft == 0 {
 				e.probeLeft = e.probeEvery
@@ -231,37 +414,3 @@ func (e *Engine) Stop() { e.stopped = true }
 
 // Stopped reports whether Stop was called.
 func (e *Engine) Stopped() bool { return e.stopped }
-
-// eventQueue is a min-heap ordered by (time, sequence).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}

@@ -12,10 +12,16 @@ import (
 // be dereferenced field-by-field at sample sites.
 type RunGauges struct {
 	// Engine health.
-	QueueDepth   *Gauge // pending events in the heap
+	QueueDepth   *Gauge // physically queued events (live + canceled pending)
 	SimSeconds   *Gauge // current simulated time
 	EventsPerSec *Gauge // events executed per wall-second, since last sample
 	SimWallRatio *Gauge // simulated seconds per wall second, since last sample
+
+	// Scheduler occupancy (timing wheel / heap internals).
+	QueueLive         *Gauge // events that will actually fire
+	QueueCanceled     *Gauge // canceled events awaiting lazy reclamation
+	QueueOverflow     *Gauge // events spilled beyond the wheel horizon
+	QueueMaxSlotDepth *Gauge // deepest wheel slot (granularity fit)
 
 	// Radio medium.
 	RadioInFlight *Gauge // transmissions scheduled but not yet delivered
@@ -43,10 +49,15 @@ func NewRunGauges(r *Registry, worker int) *RunGauges {
 	}
 	w := Label{Key: "worker", Value: strconv.Itoa(worker)}
 	return &RunGauges{
-		QueueDepth:   r.Gauge("georoute_engine_queue_depth", "Pending events in the engine heap.", w),
+		QueueDepth:   r.Gauge("georoute_engine_queue_depth", "Physically queued events (live plus canceled pending).", w),
 		SimSeconds:   r.Gauge("georoute_engine_sim_seconds", "Current simulated time of the run.", w),
 		EventsPerSec: r.Gauge("georoute_engine_events_per_second", "Events executed per wall-clock second.", w),
 		SimWallRatio: r.Gauge("georoute_engine_sim_wall_ratio", "Simulated seconds advanced per wall-clock second.", w),
+
+		QueueLive:         r.Gauge("georoute_engine_queue_live", "Queued events that will actually fire.", w),
+		QueueCanceled:     r.Gauge("georoute_engine_queue_canceled", "Canceled events awaiting lazy reclamation.", w),
+		QueueOverflow:     r.Gauge("georoute_engine_queue_overflow", "Events beyond the timing-wheel horizon.", w),
+		QueueMaxSlotDepth: r.Gauge("georoute_engine_queue_max_slot_depth", "Deepest timing-wheel slot at sample time.", w),
 
 		RadioInFlight: r.Gauge("georoute_radio_inflight", "Transmissions scheduled but not yet delivered.", w),
 		ChannelBusy:   r.Gauge("georoute_radio_channel_busy_ratio", "Channel airtime per simulated second.", w),

@@ -84,17 +84,17 @@ type Lane struct {
 // PointAt maps a travel-direction coordinate s to the plane.
 func (l *Lane) PointAt(s float64) geo.Point {
 	if l.Dir == East {
-		return geo.Pt(s, l.Y)
+		return geo.Pt(l.road.OriginX+s, l.Y)
 	}
-	return geo.Pt(l.road.Length-s, l.Y)
+	return geo.Pt(l.road.OriginX+l.road.Length-s, l.Y)
 }
 
 // SOf maps a plane X coordinate to this lane's travel coordinate.
 func (l *Lane) SOf(x float64) float64 {
 	if l.Dir == East {
-		return x
+		return x - l.road.OriginX
 	}
-	return l.road.Length - x
+	return l.road.OriginX + l.road.Length - x
 }
 
 // Vehicles returns the lane's vehicles ordered leader-first. The slice is
@@ -105,6 +105,7 @@ func (l *Lane) Vehicles() []*Vehicle { return l.vehicles }
 type Road struct {
 	Length    float64
 	LaneWidth float64
+	OriginX   float64
 	Lanes     []*Lane
 }
 
@@ -114,6 +115,10 @@ type RoadConfig struct {
 	LanesPerDirection int     // default 2
 	LaneWidth         float64 // default 5 m
 	TwoWay            bool    // add westbound lanes
+	// OriginX shifts the whole segment along the plane X axis, so several
+	// segments can share one radio medium without overlapping (multi-
+	// segment scale worlds). Travel coordinates stay segment-local.
+	OriginX float64
 }
 
 // NewRoad builds the road geometry. Eastbound lanes sit at positive Y
@@ -128,7 +133,7 @@ func NewRoad(cfg RoadConfig) *Road {
 	if cfg.LaneWidth == 0 {
 		cfg.LaneWidth = 5
 	}
-	r := &Road{Length: cfg.Length, LaneWidth: cfg.LaneWidth}
+	r := &Road{Length: cfg.Length, LaneWidth: cfg.LaneWidth, OriginX: cfg.OriginX}
 	idx := 0
 	for i := 0; i < cfg.LanesPerDirection; i++ {
 		y := cfg.LaneWidth * (float64(i) + 0.5)
@@ -171,6 +176,9 @@ type Network struct {
 	vehicles   map[int]*Vehicle
 	gateClosed map[Direction]bool
 	ticker     *sim.Ticker
+	// exitScratch is reused by integrate's compaction pass so steady-state
+	// ticks stay allocation-free.
+	exitScratch []*Vehicle
 
 	// OnEnter/OnExit are invoked when vehicles join or leave the road
 	// (e.g. to attach/detach network stacks). Optional.
@@ -195,6 +203,10 @@ type NetworkConfig struct {
 	// SpawnDisabled turns off the entry spawner entirely (bespoke
 	// scenarios place vehicles by hand).
 	SpawnDisabled bool
+	// FirstID, when non-zero, is the ID assigned to the first vehicle.
+	// Multi-segment worlds stride each segment's ID space so vehicle IDs —
+	// and the addresses derived from them — stay globally unique.
+	FirstID int
 	// OnEnter/OnExit are invoked when vehicles join or leave the road.
 	// They must be supplied here (not assigned later) when Prepopulate is
 	// set, so the hooks observe the initial vehicles too.
@@ -223,6 +235,9 @@ func NewNetwork(engine *sim.Engine, cfg NetworkConfig) *Network {
 	if cfg.Tick == 0 {
 		cfg.Tick = 100 * time.Millisecond
 	}
+	if cfg.FirstID == 0 {
+		cfg.FirstID = 1
+	}
 	n := &Network{
 		engine:     engine,
 		road:       cfg.Road,
@@ -230,7 +245,7 @@ func NewNetwork(engine *sim.Engine, cfg NetworkConfig) *Network {
 		entrySpeed: cfg.EntrySpeed,
 		spawnGap:   cfg.SpawnGap,
 		tick:       cfg.Tick,
-		nextID:     1,
+		nextID:     cfg.FirstID,
 		vehicles:   make(map[int]*Vehicle),
 		gateClosed: make(map[Direction]bool),
 		OnEnter:    cfg.OnEnter,
@@ -285,21 +300,88 @@ func (n *Network) AddVehicle(lane *Lane, s, speed float64) *Vehicle {
 	}
 	n.nextID++
 	n.vehicles[v.ID] = v
-	// Insert keeping the leader-first ordering.
-	at := len(lane.vehicles)
-	for i, o := range lane.vehicles {
-		if o.S < s {
-			at = i
-			break
+	// Insert keeping the leader-first ordering. New rear entries (spawns,
+	// back-to-front prepopulation, bulk adds) hit the O(1) tail append;
+	// only genuine mid-lane insertions pay the scan.
+	if k := len(lane.vehicles); k == 0 || lane.vehicles[k-1].S > s {
+		lane.vehicles = append(lane.vehicles, v)
+	} else {
+		at := len(lane.vehicles)
+		for i, o := range lane.vehicles {
+			if o.S < s {
+				at = i
+				break
+			}
 		}
+		lane.vehicles = append(lane.vehicles, nil)
+		copy(lane.vehicles[at+1:], lane.vehicles[at:])
+		lane.vehicles[at] = v
 	}
-	lane.vehicles = append(lane.vehicles, nil)
-	copy(lane.vehicles[at+1:], lane.vehicles[at:])
-	lane.vehicles[at] = v
 	if n.OnEnter != nil {
 		n.OnEnter(v)
 	}
 	return v
+}
+
+// BulkAdd inserts a batch of vehicles into one lane, front-of-batch first
+// (ss in descending travel-coordinate order — the natural leader-first
+// layout). The lane slice is grown once up front and each insert takes the
+// tail fast path, so populating a lane with k vehicles is O(k) instead of
+// the O(k^2) a naive per-vehicle insertion scan would cost. Enter hooks
+// fire per vehicle, in batch order.
+func (n *Network) BulkAdd(lane *Lane, ss []float64, speed float64) []*Vehicle {
+	if need := len(lane.vehicles) + len(ss); cap(lane.vehicles) < need {
+		grown := make([]*Vehicle, len(lane.vehicles), need)
+		copy(grown, lane.vehicles)
+		lane.vehicles = grown
+	}
+	out := make([]*Vehicle, 0, len(ss))
+	for _, s := range ss {
+		out = append(out, n.AddVehicle(lane, s, speed))
+	}
+	return out
+}
+
+// DespawnBulk removes a batch of vehicles from the road at once. Each
+// affected lane is compacted in a single pass — O(lane length) total
+// rather than per vehicle — and exit hooks fire in batch order after all
+// lanes are consistent. Vehicles not on the road are ignored.
+func (n *Network) DespawnBulk(vs []*Vehicle) {
+	gone := make(map[*Vehicle]bool, len(vs))
+	lanes := make(map[*Lane]bool)
+	order := make([]*Vehicle, 0, len(vs))
+	for _, v := range vs {
+		if cur, on := n.vehicles[v.ID]; !on || cur != v || gone[v] {
+			continue
+		}
+		delete(n.vehicles, v.ID)
+		gone[v] = true
+		lanes[v.Lane] = true
+		order = append(order, v)
+	}
+	for lane := range lanes {
+		compactLane(lane, gone)
+	}
+	if n.OnExit != nil {
+		for _, v := range order {
+			n.OnExit(v)
+		}
+	}
+}
+
+// compactLane drops every vehicle in gone from the lane in one pass,
+// preserving the leader-first order of the survivors.
+func compactLane(lane *Lane, gone map[*Vehicle]bool) {
+	out := lane.vehicles[:0]
+	for _, o := range lane.vehicles {
+		if !gone[o] {
+			out = append(out, o)
+		}
+	}
+	for i := len(out); i < len(lane.vehicles); i++ {
+		lane.vehicles[i] = nil
+	}
+	lane.vehicles = out
 }
 
 // laneStagger offsets lane i's vehicle pattern so parallel lanes are not
@@ -316,9 +398,11 @@ func (n *Network) laneStagger(lane *Lane) float64 {
 
 func (n *Network) prepopulate() {
 	for _, lane := range n.road.Lanes {
+		var ss []float64
 		for s := n.road.Length - n.laneStagger(lane); s >= 0; s -= n.spawnGap {
-			n.AddVehicle(lane, s, n.entrySpeed)
+			ss = append(ss, s)
 		}
+		n.BulkAdd(lane, ss, n.entrySpeed)
 	}
 }
 
@@ -373,7 +457,7 @@ func (n *Network) integrate(dt float64) {
 		}
 	}
 	for _, lane := range n.road.Lanes {
-		var exited []*Vehicle
+		exited := n.exitScratch[:0]
 		for _, v := range lane.vehicles {
 			if v.Halted {
 				continue
@@ -392,26 +476,40 @@ func (n *Network) integrate(dt float64) {
 				exited = append(exited, v)
 			}
 		}
-		for _, v := range exited {
-			n.remove(v)
+		if len(exited) > 0 {
+			// Single compaction pass per lane: exits cluster at the lane
+			// head, so removing them one by one would shift the whole lane
+			// once per exit.
+			keep := lane.vehicles[:0]
+			for _, o := range lane.vehicles {
+				drop := false
+				for _, x := range exited {
+					if x == o {
+						drop = true
+						break
+					}
+				}
+				if !drop {
+					keep = append(keep, o)
+				}
+			}
+			for i := len(keep); i < len(lane.vehicles); i++ {
+				lane.vehicles[i] = nil
+			}
+			lane.vehicles = keep
+			for _, v := range exited {
+				delete(n.vehicles, v.ID)
+			}
+			if n.OnExit != nil {
+				for _, v := range exited {
+					n.OnExit(v)
+				}
+			}
 		}
+		n.exitScratch = exited[:0]
 	}
 	if n.OnStep != nil {
 		n.OnStep()
-	}
-}
-
-func (n *Network) remove(v *Vehicle) {
-	delete(n.vehicles, v.ID)
-	lane := v.Lane
-	for i, o := range lane.vehicles {
-		if o == v {
-			lane.vehicles = append(lane.vehicles[:i], lane.vehicles[i+1:]...)
-			break
-		}
-	}
-	if n.OnExit != nil {
-		n.OnExit(v)
 	}
 }
 

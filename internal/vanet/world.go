@@ -34,6 +34,11 @@ const (
 type Config struct {
 	Seed uint64
 
+	// Queue selects the engine's scheduler implementation. The zero value
+	// is the timing wheel; QueueHeap is the differential-testing and
+	// benchmarking baseline.
+	Queue sim.QueueKind
+
 	// Tech and RangeClass select the vehicle communication range
 	// (Table II); the paper's default is the NLoS median.
 	Tech       radio.Technology
@@ -85,6 +90,12 @@ type World struct {
 
 	cfg     Config
 	routers map[geonet.Address]*geonet.Router
+	// segments lists every traffic network in the world, Traffic first.
+	// Additional entries come from AddSegment (scale worlds).
+	segments []*traffic.Network
+	// syncTicker, when non-nil, is the world-level position sync that
+	// replaces per-network syncing once several segments share the medium.
+	syncTicker *sim.Ticker
 	// detached accumulates the protocol counters of routers stopped when
 	// their vehicle left the road, so ProtocolStats covers the whole run.
 	detached geonet.Stats
@@ -101,7 +112,7 @@ func New(cfg Config) *World {
 	if cfg.RangeClass == 0 {
 		cfg.RangeClass = radio.NLoSMedian
 	}
-	engine := sim.NewEngine(cfg.Seed)
+	engine := sim.NewEngineWithQueue(cfg.Seed, cfg.Queue)
 	w := &World{
 		Engine:  engine,
 		Medium:  radio.NewMedium(engine, radio.Config{Latency: cfg.Latency, Obstructions: cfg.Obstructions, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed, Tracer: cfg.Tracer}),
@@ -118,14 +129,79 @@ func New(cfg Config) *World {
 		OnExit:        func(v *traffic.Vehicle) { w.detachVehicle(v) },
 		// Vehicles only move inside the traffic integrator; re-syncing the
 		// medium's spatial index right after keeps receiver lookups exact.
-		OnStep: w.Medium.SyncPositions,
+		OnStep: w.trafficStep,
 	})
+	w.segments = append(w.segments, w.Traffic)
 	if cfg.Telemetry != nil {
 		w.telemetry = &sampler{w: w, gauges: cfg.Telemetry}
 		w.telemetry.attach()
 	}
 	return w
 }
+
+// trafficStep runs after each traffic network's integration step. With a
+// single network it re-syncs the medium's spatial index immediately (the
+// historical behavior, byte-identical event stream). Once several segments
+// share the medium, syncing after every segment's step would rescan all
+// antennas len(segments) times per tick, so the per-network hook becomes a
+// no-op and the world-level syncTicker — always scheduled after every
+// segment ticker — performs one sync per tick instead.
+func (w *World) trafficStep() {
+	if w.syncTicker == nil {
+		w.Medium.SyncPositions()
+	}
+}
+
+// SegmentConfig parameterizes AddSegment.
+type SegmentConfig struct {
+	Road          traffic.RoadConfig
+	SpawnGap      float64
+	Prepopulate   bool
+	SpawnDisabled bool
+	// FirstID strides the segment's vehicle-ID space (see
+	// traffic.NetworkConfig.FirstID); required to keep GeoNetworking
+	// addresses unique across segments.
+	FirstID int
+	// Tick is the integration step; it must match the other segments'
+	// (default 100 ms).
+	Tick time.Duration
+}
+
+// AddSegment attaches an additional road segment to the world as its own
+// traffic network sharing the engine, medium and PKI. Vehicles entering
+// the segment get full router stacks through the same hooks as the
+// primary network. The first call switches the world to one batched
+// position sync per tick (see trafficStep).
+func (w *World) AddSegment(sc SegmentConfig) *traffic.Network {
+	if sc.Tick == 0 {
+		sc.Tick = 100 * time.Millisecond
+	}
+	n := traffic.NewNetwork(w.Engine, traffic.NetworkConfig{
+		Road:          traffic.NewRoad(sc.Road),
+		SpawnGap:      sc.SpawnGap,
+		Prepopulate:   sc.Prepopulate,
+		SpawnDisabled: sc.SpawnDisabled,
+		FirstID:       sc.FirstID,
+		Tick:          sc.Tick,
+		OnEnter:       func(v *traffic.Vehicle) { w.attachVehicle(v) },
+		OnExit:        func(v *traffic.Vehicle) { w.detachVehicle(v) },
+		OnStep:        w.trafficStep,
+	})
+	w.segments = append(w.segments, n)
+	// (Re)create the world-level sync ticker so it always holds the
+	// highest sequence number at each tick time: engine events at the same
+	// timestamp fire in creation order, so this guarantees the sync runs
+	// after every segment's integration step.
+	if w.syncTicker != nil {
+		w.syncTicker.Stop()
+	}
+	w.syncTicker = w.Engine.Every(sc.Tick, sc.Tick, "world.sync", w.Medium.SyncPositions)
+	return n
+}
+
+// Segments returns every traffic network in the world, the primary one
+// first. The slice is owned by the world; callers must not mutate it.
+func (w *World) Segments() []*traffic.Network { return w.segments }
 
 // VehicleRange reports the configured vehicle communication range.
 func (w *World) VehicleRange() float64 {
@@ -219,12 +295,24 @@ func (w *World) Router(addr geonet.Address) *geonet.Router { return w.routers[ad
 // RouterOf returns the live router of a traffic vehicle, or nil.
 func (w *World) RouterOf(v *traffic.Vehicle) *geonet.Router { return w.routers[AddrOf(v)] }
 
-// Vehicles returns the on-road vehicles sorted by ID — the deterministic
-// sampling population for workload generators.
+// VehicleCount reports the on-road vehicle population across all segments.
+func (w *World) VehicleCount() int {
+	total := 0
+	for _, n := range w.segments {
+		total += n.Count()
+	}
+	return total
+}
+
+// Vehicles returns the on-road vehicles of every segment sorted by ID —
+// the deterministic sampling population for workload generators. Segment
+// ID striding keeps the IDs globally unique.
 func (w *World) Vehicles() []*traffic.Vehicle {
-	vs := make([]*traffic.Vehicle, 0, w.Traffic.Count())
-	for _, v := range w.Traffic.Vehicles() {
-		vs = append(vs, v)
+	vs := make([]*traffic.Vehicle, 0, w.VehicleCount())
+	for _, n := range w.segments {
+		for _, v := range n.Vehicles() {
+			vs = append(vs, v)
+		}
 	}
 	sort.Slice(vs, func(i, j int) bool { return vs[i].ID < vs[j].ID })
 	return vs
