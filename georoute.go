@@ -178,6 +178,26 @@ type ScaleWorldConfig = vanet.ScaleConfig
 // single engine and medium (see internal/vanet.NewScaleWorld).
 func BuildScaleWorld(cfg ScaleWorldConfig) *World { return vanet.NewScaleWorld(cfg) }
 
+// ShardedWorld executes a multi-segment scale world as independent
+// per-shard engines advanced in lock-step epochs on a goroutine pool.
+// Merged artifacts are byte-identical to the sequential world's
+// regardless of worker count, epoch length or goroutine interleaving
+// (see internal/vanet.ShardedWorld for the determinism contract).
+type ShardedWorld = vanet.ShardedWorld
+
+// ShardedScaleWorldConfig parameterizes BuildShardedScaleWorld.
+type ShardedScaleWorldConfig = vanet.ShardedScaleConfig
+
+// BuildShardedScaleWorld partitions a scale world's segments into shards,
+// one engine + medium + traffic per shard, coordinated by epoch barriers.
+func BuildShardedScaleWorld(cfg ShardedScaleWorldConfig) *ShardedWorld {
+	return vanet.NewShardedScaleWorld(cfg)
+}
+
+// WorldStats is the canonical merged end-of-run summary produced by both
+// sequential and sharded worlds (byte-identical across the two).
+type WorldStats = vanet.WorldStats
+
 // Well-known static addresses used by the experiments.
 const (
 	WestDestAddr = vanet.WestDestAddr
@@ -308,6 +328,13 @@ func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() 
 // nil, which every sample site tolerates).
 func NewRunTelemetry(r *TelemetryRegistry, worker int) *RunTelemetry {
 	return telemetry.NewRunGauges(r, worker)
+}
+
+// NewShardRunTelemetry registers one engine shard's run gauges: the same
+// bundle as NewRunTelemetry with an extra shard label, so several engines
+// under one worker publish distinct series instead of clobbering one.
+func NewShardRunTelemetry(r *TelemetryRegistry, worker, shard int) *RunTelemetry {
+	return telemetry.NewShardRunGauges(r, worker, shard)
 }
 
 // RegisterRuntimeMetrics adds Go-runtime memory/GC/goroutine gauges,

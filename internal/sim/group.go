@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardSeed derives the engine seed for shard `shard` of a world seeded
+// with `seed` (splitmix64 over the pair). Sharded worlds give every shard
+// its own deterministic RNG stream: two shards of one world never share a
+// sequence, and shard s of world w always gets the same stream regardless
+// of how many shards run beside it.
+func ShardSeed(seed uint64, shard int) uint64 {
+	z := seed + (uint64(shard)+1)*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Group advances several independent engines in lock-step epochs on a
+// pool of worker goroutines. Within an epoch every engine runs freely to
+// the epoch boundary on whichever worker picked it up; between epochs the
+// coordinator goroutine holds a barrier where all engines are quiescent at
+// the same simulated time — the place for cross-shard concerns (stats
+// snapshots, telemetry, bulk churn, wall-clock pacing).
+//
+// A Group adds no synchronization beyond the barrier: engines must not
+// share mutable state. Under that ownership rule the execution trace of
+// every engine is byte-identical to running it alone with Engine.Run —
+// epoch slicing only changes how often control returns to the
+// coordinator, never which events run or in what order — and identical
+// under any worker count or goroutine interleaving.
+type Group struct {
+	engines []*Engine
+	epoch   time.Duration
+	workers int
+	barrier func(now time.Duration)
+	counts  []uint64 // per-engine scratch for the epoch fan-out
+}
+
+// NewGroup builds a group over the given engines with the given epoch
+// length. All engines must sit at the same simulated time (they do when
+// freshly built). The default worker count is GOMAXPROCS.
+func NewGroup(epoch time.Duration, engines ...*Engine) *Group {
+	if epoch <= 0 {
+		panic(fmt.Sprintf("sim: non-positive group epoch %v", epoch))
+	}
+	if len(engines) == 0 {
+		panic("sim: group needs at least one engine")
+	}
+	now := engines[0].Now()
+	for i, e := range engines[1:] {
+		if e.Now() != now {
+			panic(fmt.Sprintf("sim: group engine %d at %v, engine 0 at %v", i+1, e.Now(), now))
+		}
+	}
+	return &Group{
+		engines: append([]*Engine(nil), engines...),
+		epoch:   epoch,
+		workers: runtime.GOMAXPROCS(0),
+		counts:  make([]uint64, len(engines)),
+	}
+}
+
+// SetParallelism caps the worker goroutines used per epoch. n < 1
+// restores the GOMAXPROCS default; n == 1 runs every epoch serially in
+// canonical engine order (useful for differential tests against the
+// parallel path).
+func (g *Group) SetParallelism(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	g.workers = n
+}
+
+// OnBarrier installs a hook invoked on the coordinator goroutine after
+// every epoch, with all engines quiescent at simulated time now. The hook
+// may freely mutate any engine's scenario (bulk spawn/despawn, stats
+// snapshots); the next epoch starts when it returns.
+func (g *Group) OnBarrier(fn func(now time.Duration)) { g.barrier = fn }
+
+// Engines returns the group's engines in canonical (shard) order. The
+// slice is owned by the group; callers must not mutate it.
+func (g *Group) Engines() []*Engine { return g.engines }
+
+// Epoch reports the barrier interval.
+func (g *Group) Epoch() time.Duration { return g.epoch }
+
+// Run advances every engine to `until` in lock-step epochs and returns
+// the total number of events executed, folded in canonical engine order.
+// It must only be called from one goroutine at a time.
+func (g *Group) Run(until time.Duration) uint64 {
+	var total uint64
+	for {
+		now := g.engines[0].Now()
+		if now >= until {
+			break
+		}
+		next := now + g.epoch
+		if next > until {
+			next = until
+		}
+		total += g.advance(next)
+		if g.barrier != nil {
+			g.barrier(next)
+		}
+	}
+	return total
+}
+
+// advance runs one epoch: every engine to `until`, fanned out over the
+// worker pool. Engines are claimed through an atomic cursor, so which
+// worker runs which engine is scheduling-dependent — and irrelevant,
+// because engines share no state and the WaitGroup gives the coordinator
+// a happens-before edge over every engine before the barrier.
+func (g *Group) advance(until time.Duration) uint64 {
+	workers := g.workers
+	if workers > len(g.engines) {
+		workers = len(g.engines)
+	}
+	if workers <= 1 {
+		var total uint64
+		for _, e := range g.engines {
+			total += e.Run(until)
+		}
+		return total
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(g.engines) {
+					return
+				}
+				g.counts[i] = g.engines[i].Run(until)
+			}
+		}()
+	}
+	wg.Wait()
+	var total uint64
+	for _, c := range g.counts {
+		total += c
+	}
+	return total
+}

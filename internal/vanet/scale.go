@@ -45,10 +45,9 @@ type ScaleConfig struct {
 	Telemetry *telemetry.RunGauges
 }
 
-// NewScaleWorld assembles the multi-segment world, fully prepopulated with
-// running router stacks. Spawning is disabled — the population is fixed,
-// which keeps benchmark iterations comparable.
-func NewScaleWorld(cfg ScaleConfig) *World {
+// normalize fills the ScaleConfig defaults in place, so the sequential
+// builder and every shard of a sharded build agree on geometry.
+func (cfg *ScaleConfig) normalize() {
 	if cfg.Segments == 0 {
 		cfg.Segments = 4
 	}
@@ -58,34 +57,66 @@ func NewScaleWorld(cfg ScaleConfig) *World {
 	if cfg.SpawnGap == 0 {
 		cfg.SpawnGap = 100
 	}
+	if cfg.SegmentRoad.Length == 0 {
+		cfg.SegmentRoad.Length = 4000
+	}
+	if cfg.SegmentRoad.LanesPerDirection == 0 {
+		cfg.SegmentRoad.LanesPerDirection = 2
+	}
+}
+
+// segmentRoad returns global segment g's geometry: the shared per-segment
+// road shifted to its slot on the world axis. Shard worlds keep the
+// global OriginX (not a shard-local one) so every vehicle position — and
+// therefore every protocol outcome — matches the sequential world.
+func (cfg *ScaleConfig) segmentRoad(g int) traffic.RoadConfig {
 	road := cfg.SegmentRoad
-	if road.Length == 0 {
-		road.Length = 4000
+	road.OriginX = float64(g) * (road.Length + cfg.SegmentGap)
+	return road
+}
+
+// NewScaleWorld assembles the multi-segment world, fully prepopulated with
+// running router stacks. Spawning is disabled — the population is fixed,
+// which keeps benchmark iterations comparable.
+func NewScaleWorld(cfg ScaleConfig) *World {
+	cfg.normalize()
+	segs := make([]int, cfg.Segments)
+	for i := range segs {
+		segs[i] = i
 	}
-	if road.LanesPerDirection == 0 {
-		road.LanesPerDirection = 2
-	}
-	road.OriginX = 0
+	return newScaleShard(cfg, segs, cfg.Seed, false, cfg.Telemetry)
+}
+
+// newScaleShard builds one world over the given global segment indices
+// (ascending). It is the shared substrate of NewScaleWorld (all segments,
+// one engine) and NewShardedScaleWorld (a partition of the segments per
+// engine): a shard is literally the sequential world restricted to its
+// segment set, differing only in the engine seed and in batchedSync
+// forcing the world.sync ticker discipline even for single-segment
+// shards.
+func newScaleShard(cfg ScaleConfig, segs []int, engineSeed uint64, batchedSync bool, gauges *telemetry.RunGauges) *World {
+	g0 := segs[0]
 	w := New(Config{
 		Seed:          cfg.Seed,
+		EngineSeed:    engineSeed,
 		Queue:         cfg.Queue,
 		Tech:          cfg.Tech,
 		RangeClass:    cfg.RangeClass,
-		Road:          road,
+		Road:          cfg.segmentRoad(g0),
 		SpawnGap:      cfg.SpawnGap,
 		Prepopulate:   true,
 		SpawnDisabled: true,
-		Telemetry:     cfg.Telemetry,
+		FirstID:       g0 * SegmentIDStride,
+		BatchedSync:   batchedSync,
+		Telemetry:     gauges,
 	})
-	for i := 1; i < cfg.Segments; i++ {
-		seg := road
-		seg.OriginX = float64(i) * (road.Length + cfg.SegmentGap)
+	for _, g := range segs[1:] {
 		w.AddSegment(SegmentConfig{
-			Road:          seg,
+			Road:          cfg.segmentRoad(g),
 			SpawnGap:      cfg.SpawnGap,
 			Prepopulate:   true,
 			SpawnDisabled: true,
-			FirstID:       i * SegmentIDStride,
+			FirstID:       g * SegmentIDStride,
 		})
 	}
 	return w

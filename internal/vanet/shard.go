@@ -1,0 +1,218 @@
+package vanet
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/geonet"
+	"github.com/vanetsec/georoute/internal/radio"
+	"github.com/vanetsec/georoute/internal/sim"
+	"github.com/vanetsec/georoute/internal/telemetry"
+	"github.com/vanetsec/georoute/internal/traffic"
+)
+
+// ShardedScaleConfig parameterizes NewShardedScaleWorld.
+type ShardedScaleConfig struct {
+	// ScaleConfig describes the whole world exactly as for NewScaleWorld:
+	// same seed, same geometry, same population. The embedded Telemetry
+	// bundle is ignored here — per-shard bundles are registered through
+	// Registry instead, so each engine's probe publishes into its own
+	// shard-labelled series.
+	ScaleConfig
+
+	// Shards is the number of engine shards the segments partition into
+	// (default min(Segments, GOMAXPROCS); clamped to Segments).
+	Shards int
+
+	// Epoch is the lock-step barrier interval (default the 100 ms world
+	// sync tick — the natural quiescence point the sequential world
+	// already materializes). Any multiple works: with zero cross-shard
+	// events the epoch length changes only how often the coordinator
+	// runs, never a simulated outcome.
+	Epoch time.Duration
+
+	// Parallelism caps the worker goroutines advancing shards within an
+	// epoch (default GOMAXPROCS; 1 forces the serial differential path).
+	Parallelism int
+
+	// Registry, when non-nil, gets one RunGauges bundle per shard
+	// (worker=TelemetryWorker, shard=index) driving each engine's
+	// telemetry probe.
+	Registry *telemetry.Registry
+	// TelemetryWorker is the worker label for the shard bundles.
+	TelemetryWorker int
+}
+
+// ShardedWorld executes a multi-segment scale world as S independent
+// per-shard worlds — each with its own engine, radio medium, traffic
+// networks and PKI handle — advanced in lock-step epochs on a goroutine
+// pool with a barrier between epochs.
+//
+// Determinism contract: the partition assigns whole RF-isolated segments
+// to shards, every shard keeps the global segment geometry, address
+// striding and world seed (medium link hash, CA root), and no two shards
+// share any mutable state. Under those rules each shard's event stream is
+// bit-identical to the same segments running inside the sequential
+// single-engine world, and every merged artifact folds in canonical shard
+// order — so a sharded run's StatsSummary is byte-identical to the
+// sequential run's, regardless of goroutine interleaving, worker count or
+// epoch length. The differential tests in shard_test.go enforce exactly
+// that, under -race.
+type ShardedWorld struct {
+	shards []*World
+	segs   [][]int // global segment indices per shard, ascending
+	group  *sim.Group
+}
+
+// NewShardedScaleWorld partitions the world's segments into contiguous,
+// balanced shard blocks (canonical order: shard i owns lower segment
+// indices than shard i+1) and assembles one world per shard.
+func NewShardedScaleWorld(cfg ShardedScaleConfig) *ShardedWorld {
+	cfg.ScaleConfig.normalize()
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > cfg.Segments {
+		shards = cfg.Segments
+	}
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = 100 * time.Millisecond
+	}
+	sw := &ShardedWorld{
+		shards: make([]*World, 0, shards),
+		segs:   make([][]int, 0, shards),
+	}
+	base, rem := cfg.Segments/shards, cfg.Segments%shards
+	g := 0
+	for i := 0; i < shards; i++ {
+		n := base
+		if i < rem {
+			n++
+		}
+		segs := make([]int, n)
+		for j := range segs {
+			segs[j] = g
+			g++
+		}
+		var gauges *telemetry.RunGauges
+		if cfg.Registry != nil {
+			gauges = telemetry.NewShardRunGauges(cfg.Registry, cfg.TelemetryWorker, i)
+		}
+		sw.shards = append(sw.shards, newScaleShard(cfg.ScaleConfig, segs, sim.ShardSeed(cfg.Seed, i), true, gauges))
+		sw.segs = append(sw.segs, segs)
+	}
+	engines := make([]*sim.Engine, len(sw.shards))
+	for i, w := range sw.shards {
+		engines[i] = w.Engine
+	}
+	sw.group = sim.NewGroup(epoch, engines...)
+	if cfg.Parallelism > 0 {
+		sw.group.SetParallelism(cfg.Parallelism)
+	}
+	return sw
+}
+
+// Shards returns the per-shard worlds in canonical order. The slice is
+// owned by the sharded world; callers must not mutate it. Shard worlds
+// may only be touched while the group is quiescent — between Run calls or
+// from an OnBarrier hook.
+func (sw *ShardedWorld) Shards() []*World { return sw.shards }
+
+// SegmentsOf returns the global segment indices shard i owns, ascending.
+func (sw *ShardedWorld) SegmentsOf(i int) []int { return sw.segs[i] }
+
+// Segment resolves a global segment index to the shard world owning it
+// and that segment's traffic network (the churn surface for mid-run
+// SpawnColumn/DespawnBulk at barriers). Panics on an unknown segment.
+func (sw *ShardedWorld) Segment(g int) (*World, *traffic.Network) {
+	for i, segs := range sw.segs {
+		for j, owned := range segs {
+			if owned == g {
+				return sw.shards[i], sw.shards[i].Segments()[j]
+			}
+		}
+	}
+	panic(fmt.Sprintf("vanet: no shard owns segment %d", g))
+}
+
+// OnBarrier installs a hook run on the coordinator goroutine between
+// epochs, with every shard quiescent at the same simulated time. This is
+// the only place mid-run cross-shard work (bulk churn, stats snapshots,
+// pacing) may touch shard state.
+func (sw *ShardedWorld) OnBarrier(fn func(now time.Duration)) { sw.group.OnBarrier(fn) }
+
+// Run advances every shard to the given simulated time in lock-step
+// epochs and returns the total events executed, folded in shard order.
+func (sw *ShardedWorld) Run(until time.Duration) uint64 { return sw.group.Run(until) }
+
+// Now reports the common simulated time of the quiescent shards.
+func (sw *ShardedWorld) Now() time.Duration { return sw.shards[0].Engine.Now() }
+
+// Executed sums the events executed across shards, in canonical order.
+func (sw *ShardedWorld) Executed() uint64 {
+	var total uint64
+	for _, w := range sw.shards {
+		total += w.Engine.Executed()
+	}
+	return total
+}
+
+// VehicleCount reports the on-road population across all shards.
+func (sw *ShardedWorld) VehicleCount() int {
+	total := 0
+	for _, w := range sw.shards {
+		total += w.VehicleCount()
+	}
+	return total
+}
+
+// ProtocolStats folds the protocol counters of every router that ever ran
+// in any shard, in canonical shard order.
+func (sw *ShardedWorld) ProtocolStats() geonet.Stats {
+	var total geonet.Stats
+	for _, w := range sw.shards {
+		total.Add(w.ProtocolStats())
+	}
+	return total
+}
+
+// ProtocolStatsBySegment merges the shards' per-segment protocol
+// counters. Shard segment sets are disjoint by construction, so the merge
+// is a plain union.
+func (sw *ShardedWorld) ProtocolStatsBySegment() map[int]geonet.Stats {
+	out := make(map[int]geonet.Stats)
+	for _, w := range sw.shards {
+		for g, s := range w.ProtocolStatsBySegment() {
+			out[g] = s
+		}
+	}
+	return out
+}
+
+// MediumStats folds the per-shard radio medium counters in canonical
+// shard order.
+func (sw *ShardedWorld) MediumStats() radio.Stats {
+	var total radio.Stats
+	for _, w := range sw.shards {
+		total.Add(w.Medium.Stats())
+	}
+	return total
+}
+
+// StatsSummary returns the merged canonical end-of-run summary: the same
+// artifact a sequential World produces, byte-identical to it when both
+// ran the same scenario.
+func (sw *ShardedWorld) StatsSummary() WorldStats {
+	return buildWorldStats(sw.VehicleCount(), sw.ProtocolStatsBySegment(), sw.MediumStats())
+}
+
+// SampleTelemetry forces a final telemetry sample on every shard. Only
+// call while the group is quiescent.
+func (sw *ShardedWorld) SampleTelemetry() {
+	for _, w := range sw.shards {
+		w.SampleTelemetry()
+	}
+}

@@ -1,0 +1,252 @@
+package vanet
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/telemetry"
+	"github.com/vanetsec/georoute/internal/traffic"
+)
+
+func shardScaleConfig() ScaleConfig {
+	return ScaleConfig{
+		Seed:        7,
+		Segments:    6,
+		SegmentRoad: traffic.RoadConfig{Length: 1000, LanesPerDirection: 1},
+		SpawnGap:    100,
+	}
+}
+
+func TestShardedWorldAssembly(t *testing.T) {
+	sw := NewShardedScaleWorld(ShardedScaleConfig{
+		ScaleConfig: shardScaleConfig(),
+		Shards:      4,
+	})
+	if got := len(sw.Shards()); got != 4 {
+		t.Fatalf("shards = %d, want 4", got)
+	}
+	// 6 segments over 4 shards: contiguous balanced blocks 2,2,1,1.
+	wantSegs := [][]int{{0, 1}, {2, 3}, {4}, {5}}
+	for i, want := range wantSegs {
+		if got := sw.SegmentsOf(i); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shard %d segments = %v, want %v", i, got, want)
+		}
+	}
+	// Global address striding survives the partition: every segment's
+	// network hands out IDs from its global stride slot.
+	for g := 0; g < 6; g++ {
+		w, n := sw.Segment(g)
+		want := g * SegmentIDStride
+		if want == 0 {
+			want = 1 // vehicle IDs start at 1; segment 0 keeps the default
+		}
+		if n.FirstID() != want {
+			t.Fatalf("segment %d FirstID = %d, want %d", g, n.FirstID(), want)
+		}
+		if w == nil || n.Count() == 0 {
+			t.Fatalf("segment %d empty", g)
+		}
+	}
+	// Population matches the sequential assembly.
+	seq := NewScaleWorld(shardScaleConfig())
+	if sw.VehicleCount() != seq.VehicleCount() {
+		t.Fatalf("sharded population %d != sequential %d", sw.VehicleCount(), seq.VehicleCount())
+	}
+	// No two shards share an engine or a medium.
+	for i, a := range sw.Shards() {
+		for j, b := range sw.Shards() {
+			if i != j && (a.Engine == b.Engine || a.Medium == b.Medium) {
+				t.Fatalf("shards %d and %d share runtime state", i, j)
+			}
+		}
+	}
+}
+
+func summaryBytes(t *testing.T, s WorldStats) []byte {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("marshal summary: %v", err)
+	}
+	return b
+}
+
+// TestShardedMatchesSequentialDifferential is the tentpole contract: for
+// any shard count, the sharded world's merged end-of-run artifact is
+// byte-identical to the sequential single-engine world's, and the
+// per-segment protocol counters match exactly. Run under -race in CI.
+func TestShardedMatchesSequentialDifferential(t *testing.T) {
+	const simFor = 6 * time.Second
+	seq := NewScaleWorld(shardScaleConfig())
+	seq.Run(simFor)
+	seqSummary := summaryBytes(t, seq.StatsSummary())
+	seqPerSeg := seq.ProtocolStatsBySegment()
+
+	for _, shards := range []int{2, 3, 6} {
+		sw := NewShardedScaleWorld(ShardedScaleConfig{
+			ScaleConfig: shardScaleConfig(),
+			Shards:      shards,
+			Parallelism: 4,
+		})
+		sw.Run(simFor)
+		if got := summaryBytes(t, sw.StatsSummary()); string(got) != string(seqSummary) {
+			t.Fatalf("shards=%d summary diverged from sequential:\n sharded: %s\n sequential: %s",
+				shards, got, seqSummary)
+		}
+		if got := sw.ProtocolStatsBySegment(); !reflect.DeepEqual(got, seqPerSeg) {
+			t.Fatalf("shards=%d per-segment stats diverged:\n sharded: %+v\n sequential: %+v",
+				shards, got, seqPerSeg)
+		}
+	}
+}
+
+// TestShardedInterleavingIndependence pins the determinism half of the
+// contract: worker count and epoch length change only wall-clock
+// scheduling, never a simulated outcome or a merged artifact byte.
+func TestShardedInterleavingIndependence(t *testing.T) {
+	const simFor = 6 * time.Second
+	run := func(parallelism int, epoch time.Duration) []byte {
+		sw := NewShardedScaleWorld(ShardedScaleConfig{
+			ScaleConfig: shardScaleConfig(),
+			Shards:      3,
+			Parallelism: parallelism,
+			Epoch:       epoch,
+		})
+		sw.Run(simFor)
+		return summaryBytes(t, sw.StatsSummary())
+	}
+	serial := run(1, 100*time.Millisecond)
+	if got := run(4, 100*time.Millisecond); string(got) != string(serial) {
+		t.Fatalf("parallelism changed the artifact:\n p=4: %s\n p=1: %s", got, serial)
+	}
+	if got := run(4, 500*time.Millisecond); string(got) != string(serial) {
+		t.Fatalf("epoch length changed the artifact:\n 500ms: %s\n 100ms: %s", got, serial)
+	}
+}
+
+// churnSegment applies a deterministic mid-run churn to one segment: a
+// five-vehicle column bulk-spawned behind the rear of lane 0, and two
+// mid-pack vehicles bulk-despawned. Both worlds are at the same simulated
+// time with identical state when this runs, so the selection is identical.
+func churnSegment(n *traffic.Network) {
+	lane := n.Road().Lanes[0]
+	vs := lane.Vehicles()
+	rear := vs[len(vs)-1].S
+	SpawnColumn(n, lane, rear-60, 30, 5, 25)
+	n.DespawnBulk([]*traffic.Vehicle{vs[1], vs[2]})
+}
+
+// TestShardedChurnMatchesSequential drives SpawnColumn/DespawnBulk churn
+// mid-run — at a barrier on the sharded world, between Run calls on the
+// sequential one — and requires the merged artifacts to stay identical.
+func TestShardedChurnMatchesSequential(t *testing.T) {
+	const (
+		churnAt = 2 * time.Second
+		simFor  = 6 * time.Second
+	)
+	seq := NewScaleWorld(shardScaleConfig())
+	seq.Run(churnAt)
+	churnSegment(seq.Segments()[1])
+	churnSegment(seq.Segments()[4])
+	seq.Run(simFor)
+	seqSummary := summaryBytes(t, seq.StatsSummary())
+
+	sw := NewShardedScaleWorld(ShardedScaleConfig{
+		ScaleConfig: shardScaleConfig(),
+		Shards:      3,
+		Parallelism: 4,
+	})
+	sw.OnBarrier(func(now time.Duration) {
+		if now != churnAt {
+			return
+		}
+		_, n1 := sw.Segment(1)
+		churnSegment(n1)
+		_, n4 := sw.Segment(4)
+		churnSegment(n4)
+	})
+	sw.Run(simFor)
+	if got := summaryBytes(t, sw.StatsSummary()); string(got) != string(seqSummary) {
+		t.Fatalf("churned summary diverged:\n sharded: %s\n sequential: %s", got, seqSummary)
+	}
+	if sw.VehicleCount() != seq.VehicleCount() {
+		t.Fatalf("churned population: sharded %d != sequential %d", sw.VehicleCount(), seq.VehicleCount())
+	}
+}
+
+// TestShardedTelemetryInert checks the observer effect is zero — wiring a
+// registry changes no simulated byte — and that each shard publishes its
+// own labelled series instead of clobbering a shared one.
+func TestShardedTelemetryInert(t *testing.T) {
+	const simFor = 4 * time.Second
+	bare := NewShardedScaleWorld(ShardedScaleConfig{
+		ScaleConfig: shardScaleConfig(),
+		Shards:      3,
+		Parallelism: 2,
+	})
+	bare.Run(simFor)
+
+	reg := telemetry.NewRegistry()
+	instr := NewShardedScaleWorld(ShardedScaleConfig{
+		ScaleConfig: shardScaleConfig(),
+		Shards:      3,
+		Parallelism: 2,
+		Registry:    reg,
+	})
+	instr.Run(simFor)
+	instr.SampleTelemetry()
+
+	if got, want := summaryBytes(t, instr.StatsSummary()), summaryBytes(t, bare.StatsSummary()); string(got) != string(want) {
+		t.Fatalf("telemetry perturbed the run:\n instrumented: %s\n bare: %s", got, want)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatalf("exposition: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`georoute_engine_queue_depth{worker="0",shard="0"}`,
+		`georoute_engine_queue_depth{worker="0",shard="1"}`,
+		`georoute_engine_queue_depth{worker="0",shard="2"}`,
+	} {
+		if !containsLine(text, want) {
+			t.Fatalf("exposition missing shard series %q:\n%s", want, text)
+		}
+	}
+}
+
+func containsLine(text, prefix string) bool {
+	for start := 0; start < len(text); {
+		end := start
+		for end < len(text) && text[end] != '\n' {
+			end++
+		}
+		line := text[start:end]
+		if len(line) >= len(prefix) && line[:len(prefix)] == prefix {
+			return true
+		}
+		start = end + 1
+	}
+	return false
+}
+
+// TestShardedRunResumes checks the coordinator supports piecewise
+// advancement — Run(a) then Run(b) equals Run(b) in one call.
+func TestShardedRunResumes(t *testing.T) {
+	one := NewShardedScaleWorld(ShardedScaleConfig{ScaleConfig: shardScaleConfig(), Shards: 3})
+	one.Run(6 * time.Second)
+
+	two := NewShardedScaleWorld(ShardedScaleConfig{ScaleConfig: shardScaleConfig(), Shards: 3})
+	two.Run(2 * time.Second)
+	if got := two.Now(); got != 2*time.Second {
+		t.Fatalf("Now after partial run = %v, want 2s", got)
+	}
+	two.Run(6 * time.Second)
+
+	if got, want := summaryBytes(t, two.StatsSummary()), summaryBytes(t, one.StatsSummary()); string(got) != string(want) {
+		t.Fatalf("piecewise run diverged:\n two-step: %s\n one-shot: %s", got, want)
+	}
+}

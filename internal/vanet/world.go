@@ -34,10 +34,33 @@ const (
 type Config struct {
 	Seed uint64
 
+	// EngineSeed, when non-zero, seeds the event engine's RNG instead of
+	// Seed. Sharded worlds give every shard engine a seed derived from
+	// (world seed, shard index) while keeping the world Seed for the
+	// radio medium's link hash and the PKI root, whose derivations are
+	// per-(node pair) and per-station — that split is what makes a
+	// shard's event stream bit-identical to the same segments running in
+	// the sequential world.
+	EngineSeed uint64
+
 	// Queue selects the engine's scheduler implementation. The zero value
 	// is the timing wheel; QueueHeap is the differential-testing and
 	// benchmarking baseline.
 	Queue sim.QueueKind
+
+	// FirstID strides the primary traffic network's vehicle-ID space
+	// (see traffic.NetworkConfig.FirstID). Shard worlds whose first
+	// segment is global segment g pass g*SegmentIDStride so addresses
+	// match the sequential world exactly; 0 keeps the default of 1.
+	FirstID int
+
+	// BatchedSync forces the world-level position-sync ticker from
+	// construction, even while the world has a single traffic network.
+	// Multi-segment worlds switch to it automatically on AddSegment; a
+	// single-segment shard of a sharded world sets it explicitly so the
+	// sync runs as its own event after the segment's integration step —
+	// the same event order the sequential multi-segment world produces.
+	BatchedSync bool
 
 	// Tech and RangeClass select the vehicle communication range
 	// (Table II); the paper's default is the NLoS median.
@@ -97,8 +120,10 @@ type World struct {
 	// replaces per-network syncing once several segments share the medium.
 	syncTicker *sim.Ticker
 	// detached accumulates the protocol counters of routers stopped when
-	// their vehicle left the road, so ProtocolStats covers the whole run.
-	detached geonet.Stats
+	// their vehicle left the road, keyed by global segment index, so both
+	// ProtocolStats and the per-segment differential artifacts cover the
+	// whole run.
+	detached map[int]geonet.Stats
 	// telemetry is the engine-probe sampler, nil when telemetry is off.
 	telemetry *sampler
 }
@@ -112,19 +137,25 @@ func New(cfg Config) *World {
 	if cfg.RangeClass == 0 {
 		cfg.RangeClass = radio.NLoSMedian
 	}
-	engine := sim.NewEngineWithQueue(cfg.Seed, cfg.Queue)
+	engineSeed := cfg.EngineSeed
+	if engineSeed == 0 {
+		engineSeed = cfg.Seed
+	}
+	engine := sim.NewEngineWithQueue(engineSeed, cfg.Queue)
 	w := &World{
-		Engine:  engine,
-		Medium:  radio.NewMedium(engine, radio.Config{Latency: cfg.Latency, Obstructions: cfg.Obstructions, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed, Tracer: cfg.Tracer}),
-		CA:      security.NewSimCA(cfg.Seed),
-		cfg:     cfg,
-		routers: make(map[geonet.Address]*geonet.Router),
+		Engine:   engine,
+		Medium:   radio.NewMedium(engine, radio.Config{Latency: cfg.Latency, Obstructions: cfg.Obstructions, EdgeFactor: cfg.EdgeFactor, Seed: cfg.Seed, Tracer: cfg.Tracer}),
+		CA:       security.NewSimCA(cfg.Seed),
+		cfg:      cfg,
+		routers:  make(map[geonet.Address]*geonet.Router),
+		detached: make(map[int]geonet.Stats),
 	}
 	w.Traffic = traffic.NewNetwork(engine, traffic.NetworkConfig{
 		Road:          traffic.NewRoad(cfg.Road),
 		SpawnGap:      cfg.SpawnGap,
 		Prepopulate:   cfg.Prepopulate,
 		SpawnDisabled: cfg.SpawnDisabled,
+		FirstID:       cfg.FirstID,
 		OnEnter:       func(v *traffic.Vehicle) { w.attachVehicle(v) },
 		OnExit:        func(v *traffic.Vehicle) { w.detachVehicle(v) },
 		// Vehicles only move inside the traffic integrator; re-syncing the
@@ -132,6 +163,13 @@ func New(cfg Config) *World {
 		OnStep: w.trafficStep,
 	})
 	w.segments = append(w.segments, w.Traffic)
+	if cfg.BatchedSync {
+		// Created after the traffic ticker so it holds the higher sequence
+		// number at each tick time: the sync always runs after the
+		// integration step, exactly as AddSegment arranges it.
+		tick := 100 * time.Millisecond
+		w.syncTicker = engine.Every(tick, tick, "world.sync", w.Medium.SyncPositions)
+	}
 	if cfg.Telemetry != nil {
 		w.telemetry = &sampler{w: w, gauges: cfg.Telemetry}
 		w.telemetry.attach()
@@ -248,7 +286,10 @@ func (w *World) detachVehicle(v *traffic.Vehicle) {
 	addr := AddrOf(v)
 	if r, ok := w.routers[addr]; ok {
 		r.Stop()
-		w.detached.Add(r.Stats())
+		seg := SegmentIndexOf(addr)
+		s := w.detached[seg]
+		s.Add(r.Stats())
+		w.detached[seg] = s
 		delete(w.routers, addr)
 	}
 }
@@ -333,11 +374,90 @@ func (w *World) Run(until time.Duration) { w.Engine.Run(until) }
 
 // ProtocolStats folds the GeoNetworking counters of every router that
 // ever ran in this world — live ones plus those of vehicles that already
-// left the road.
+// left the road. Every counter is a uint64, so the fold is
+// order-independent even though it walks Go maps.
 func (w *World) ProtocolStats() geonet.Stats {
-	total := w.detached
+	var total geonet.Stats
+	for _, s := range w.detached {
+		total.Add(s)
+	}
 	for _, r := range w.routers {
 		total.Add(r.Stats())
 	}
 	return total
+}
+
+// SegmentIndexOf maps a GeoNetworking address to its global segment
+// index: vehicle addresses decode through the SegmentIDStride striding,
+// static infrastructure (destinations, RSUs) counts as segment 0.
+func SegmentIndexOf(addr geonet.Address) int {
+	id := int64(addr) - int64(VehicleAddrBase)
+	if id < 0 {
+		return 0
+	}
+	return int(id / SegmentIDStride)
+}
+
+// ProtocolStatsBySegment folds the protocol counters of every router that
+// ever ran — live plus detached — keyed by global segment index. A shard
+// world reports exactly the segments it owns; the sequential world
+// reports all of them, which is what the sharded-vs-sequential
+// differential tests compare.
+func (w *World) ProtocolStatsBySegment() map[int]geonet.Stats {
+	out := make(map[int]geonet.Stats, len(w.segments))
+	for seg, s := range w.detached {
+		out[seg] = s
+	}
+	for addr, r := range w.routers {
+		seg := SegmentIndexOf(addr)
+		s := out[seg]
+		s.Add(r.Stats())
+		out[seg] = s
+	}
+	return out
+}
+
+// SegmentStats pairs a global segment index with the folded protocol
+// counters of every router that ran in that segment.
+type SegmentStats struct {
+	Segment  int          `json:"segment"`
+	Protocol geonet.Stats `json:"protocol"`
+}
+
+// WorldStats is the canonical end-of-run summary artifact: population,
+// whole-world protocol and radio counters, and the per-segment protocol
+// breakdown in ascending segment order. Its JSON encoding is the
+// byte-identity surface of the sharded-vs-sequential differential tests,
+// so everything in it is deterministic and folds canonically. Raw engine
+// event counts are deliberately absent: a sharded world runs one
+// world.sync ticker per shard instead of one total, so its event count
+// differs from the sequential run by that bookkeeping margin while every
+// protocol outcome stays identical.
+type WorldStats struct {
+	Vehicles int            `json:"vehicles"`
+	Protocol geonet.Stats   `json:"protocol"`
+	Radio    radio.Stats    `json:"radio"`
+	Segments []SegmentStats `json:"segments"`
+}
+
+// buildWorldStats assembles the canonical summary from a per-segment map:
+// segments sort ascending and the whole-world protocol fold walks them in
+// that canonical order.
+func buildWorldStats(vehicles int, perSeg map[int]geonet.Stats, rs radio.Stats) WorldStats {
+	segs := make([]int, 0, len(perSeg))
+	for g := range perSeg {
+		segs = append(segs, g)
+	}
+	sort.Ints(segs)
+	out := WorldStats{Vehicles: vehicles, Radio: rs, Segments: make([]SegmentStats, 0, len(segs))}
+	for _, g := range segs {
+		out.Segments = append(out.Segments, SegmentStats{Segment: g, Protocol: perSeg[g]})
+		out.Protocol.Add(perSeg[g])
+	}
+	return out
+}
+
+// StatsSummary returns the world's canonical end-of-run summary.
+func (w *World) StatsSummary() WorldStats {
+	return buildWorldStats(w.VehicleCount(), w.ProtocolStatsBySegment(), w.Medium.Stats())
 }
