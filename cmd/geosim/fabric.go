@@ -1,0 +1,199 @@
+// Fabric modes: the distributed-campaign coordinator (-serve), the cell
+// worker (-worker), and the thin client verbs (-submit, -fabric-status,
+// -drain). A campaign sharded across workers finalizes artifacts
+// byte-identical to a single-process `geosim -campaign` run; see
+// internal/fabric and DESIGN.md for why.
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/vanetsec/georoute"
+)
+
+// logStderr is the Logf plumbed into coordinator and worker: one line per
+// noteworthy transition, same stream the campaign progress uses.
+func logStderr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// shutdownTelemetry drains in-flight scrapes before closing the listener,
+// so a /metrics request racing process exit gets its response instead of
+// a reset. Falls back to a hard close after the grace period.
+func shutdownTelemetry(srv *georoute.TelemetryServer) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	srv.Shutdown(ctx)
+}
+
+// runServe runs the fabric coordinator until SIGINT/SIGTERM: the campaign
+// control plane (/fabric/*) and its telemetry (/metrics, /telemetry.json,
+// /debug/pprof/) on one listener. Exit codes: 0 clean shutdown, 1 error.
+func runServe(addr, resultsDir string, leaseTTL time.Duration, maxRetries int) int {
+	reg := georoute.NewTelemetryRegistry()
+	georoute.RegisterRuntimeMetrics(reg)
+	coord := georoute.NewFabricCoordinator(georoute.FabricCoordinatorConfig{
+		ResultsDir: resultsDir,
+		LeaseTTL:   leaseTTL,
+		MaxRetries: maxRetries,
+		Telemetry:  reg,
+		Logf:       logStderr,
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+		return 1
+	}
+	srv := &http.Server{Handler: coord.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	fmt.Fprintf(os.Stderr, "geosim: fabric coordinator on http://%s (workers: geosim -worker http://%s; metrics on /metrics)\n",
+		ln.Addr(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+
+	fmt.Fprintln(os.Stderr, "geosim: coordinator shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shCtx)
+	// Close flushes every journal — completed cells are durable even when
+	// a campaign was interrupted mid-run (resubmit with -resume later).
+	if err := coord.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "geosim: closing coordinator: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runWorker runs a fabric worker until SIGINT/SIGTERM, the coordinator
+// drains, or maxCells completions. An in-flight cell always finishes and
+// posts its result before the worker exits.
+func runWorker(url, id string, maxCells int, listen string) int {
+	if url == "" {
+		fmt.Fprintln(os.Stderr, "geosim: -worker needs the coordinator URL (e.g. -worker http://localhost:9090)")
+		return 2
+	}
+	var reg *georoute.TelemetryRegistry
+	if listen != "" {
+		reg = georoute.NewTelemetryRegistry()
+		georoute.RegisterRuntimeMetrics(reg)
+		srv, err := georoute.ServeTelemetry(reg, listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+			return 1
+		}
+		defer shutdownTelemetry(srv)
+		fmt.Fprintf(os.Stderr, "geosim: worker telemetry on http://%s/metrics\n", srv.Addr)
+	}
+	w := georoute.NewFabricWorker(georoute.FabricWorkerConfig{
+		Coordinator: url,
+		ID:          id,
+		MaxCells:    maxCells,
+		Telemetry:   reg,
+		Logf:        logStderr,
+	})
+	fmt.Fprintf(os.Stderr, "geosim: fabric worker %s polling %s\n", w.ID(), url)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := w.Run(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runSubmit submits a campaign spec to the coordinator at `to`.
+// Submission is idempotent on the spec hash, so re-running the same
+// submit (e.g. with -wait after a client timeout) is safe. Exit codes:
+// 0 submitted (and, with -wait, completed), 1 error, 3 interrupted.
+func runSubmit(specPath, to string, resume, wait bool) int {
+	if to == "" {
+		fmt.Fprintln(os.Stderr, "geosim: -submit needs -to http://host:port")
+		return 2
+	}
+	sp, err := georoute.LoadCampaignSpec(specPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	client := georoute.NewFabricClient(to)
+	st, err := client.Submit(ctx, sp, resume)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "campaign %s: %s — %d/%d cells done (%d replayed from journal)\n",
+		st.Name, st.Phase, st.Done, st.Total, st.Replayed)
+	if !wait {
+		if st.Phase == "failed" {
+			fmt.Fprintf(os.Stderr, "geosim: campaign %s failed: %s\n", st.Name, st.Failure)
+			return 1
+		}
+		return 0
+	}
+	st, err = client.WaitCampaign(ctx, sp.Name, 500*time.Millisecond)
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "geosim: interrupted — the campaign keeps running on the coordinator; re-run -submit -wait to keep watching\n")
+			return 3
+		}
+		fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "campaign %s: complete (%d cells: %d replayed, %d executed)\n",
+		st.Name, st.Total, st.Replayed, st.Executed)
+	fmt.Printf("artifacts written to %s\n", st.Dir)
+	return 0
+}
+
+// runFabricStatus prints the coordinator's status snapshot as JSON.
+func runFabricStatus(to string) int {
+	if to == "" {
+		fmt.Fprintln(os.Stderr, "geosim: -fabric-status needs -to http://host:port")
+		return 2
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := georoute.NewFabricClient(to).Status(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+		return 1
+	}
+	if err := printJSON(st); err != nil {
+		fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runDrain asks the coordinator to stop granting leases; in-flight cells
+// complete normally and idle workers exit on their next poll.
+func runDrain(to string) int {
+	if to == "" {
+		fmt.Fprintln(os.Stderr, "geosim: -drain needs -to http://host:port")
+		return 2
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st, err := georoute.NewFabricClient(to).Drain(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
+		return 1
+	}
+	leased := 0
+	for _, cs := range st.Campaigns {
+		leased += cs.Leased
+	}
+	fmt.Fprintf(os.Stderr, "geosim: coordinator draining (%d cells still in flight)\n", leased)
+	return 0
+}

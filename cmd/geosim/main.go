@@ -35,6 +35,16 @@
 // run. Telemetry is pure observation: outputs are byte-identical with it
 // on or off.
 //
+// Campaigns can also run distributed: -serve starts the fabric
+// coordinator (campaign control plane + /metrics on one listener),
+// -worker starts a cell worker against it, and -submit/-fabric-status/
+// -drain are the client verbs. Artifacts are byte-identical to a
+// single-process run (see internal/fabric):
+//
+//	geosim -serve :9090
+//	geosim -worker http://localhost:9090   # start as many as you like
+//	geosim -submit campaigns/smoke.json -to http://localhost:9090 -wait
+//
 // With -runs 100 and the full 200 s duration a figure takes a while; use
 // lower run counts for exploration. Results print to stdout; campaign
 // artifacts land in results/<name>/.
@@ -75,6 +85,17 @@ func main() {
 		listen   = flag.String("listen", "", "serve live telemetry on this address while running: /metrics (Prometheus), /telemetry.json, /debug/pprof/")
 		progress = flag.Bool("progress", false, "print a periodic progress heartbeat to stderr")
 
+		serveAddr    = flag.String("serve", "", "run the distributed-campaign coordinator on this address (e.g. :9090); submit work with -submit")
+		workerURL    = flag.String("worker", "", "run as a fabric worker against this coordinator URL (one cell at a time; start several for parallelism)")
+		workerID     = flag.String("worker-id", "", "fabric worker identity (default <hostname>-<pid>)")
+		submitPath   = flag.String("submit", "", "submit a campaign spec (JSON) to the coordinator at -to")
+		fabricStatus = flag.Bool("fabric-status", false, "print the coordinator status snapshot from -to and exit")
+		drain        = flag.Bool("drain", false, "ask the coordinator at -to to stop granting leases and exit")
+		to           = flag.String("to", "", "coordinator base URL for -submit/-fabric-status/-drain (e.g. http://localhost:9090)")
+		wait         = flag.Bool("wait", false, "with -submit: block until the campaign completes or fails")
+		leaseTTL     = flag.Duration("lease-ttl", georoute.DefaultFabricLeaseTTL, "coordinator: lease lifetime without a heartbeat before a cell is requeued")
+		maxRetries   = flag.Int("max-retries", georoute.DefaultFabricMaxRetries, "coordinator: per-cell retry budget for failures and lease expiries")
+
 		benchWorld    = flag.Bool("bench-world", false, "run one world benchmark variant in this process and print a one-line JSON result (see scripts/benchworld.sh)")
 		benchVehicles = flag.Int("bench-vehicles", 100_000, "bench-world: approximate vehicle population")
 		benchShards   = flag.Int("bench-shards", 0, "bench-world: engine shards (0 = sequential single-engine world)")
@@ -90,6 +111,18 @@ func main() {
 	}
 	if *benchWorld {
 		os.Exit(runBenchWorld(*benchVehicles, *benchShards, *benchQueue, *benchSim, *benchSeed))
+	}
+	switch {
+	case *serveAddr != "":
+		os.Exit(runServe(*serveAddr, *results, *leaseTTL, *maxRetries))
+	case *workerURL != "":
+		os.Exit(runWorker(*workerURL, *workerID, *maxCells, *listen))
+	case *submitPath != "":
+		os.Exit(runSubmit(*submitPath, *to, *resume, *wait))
+	case *fabricStatus:
+		os.Exit(runFabricStatus(*to))
+	case *drain:
+		os.Exit(runDrain(*to))
 	}
 	if *campPath != "" {
 		os.Exit(runCampaign(*campPath, *results, *resume, *maxCells, *workers, *traceDir, *listen, *progress))
@@ -110,7 +143,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
+		defer shutdownTelemetry(srv)
 		fmt.Fprintf(os.Stderr, "geosim: telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
 	}
 
@@ -291,7 +324,9 @@ func runCampaign(specPath, resultsDir string, resume bool, maxCells, workers int
 			fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
 			return 1
 		}
-		defer srv.Close()
+		// Shutdown (not Close) so a /metrics scrape racing the end of the
+		// run is answered before the listener goes away.
+		defer shutdownTelemetry(srv)
 		fmt.Fprintf(os.Stderr, "geosim: telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr)
 	}
 

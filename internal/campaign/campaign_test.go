@@ -204,6 +204,112 @@ func TestJournalTornTailRecovery(t *testing.T) {
 	}
 }
 
+func TestJournalTornHeaderRecovery(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 2))
+	sp := fig7aSpec("tornhead", 1)
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells, _ := sp.Cells()
+	for _, tc := range []struct {
+		name    string
+		content string
+	}{
+		// A hard kill during the very first append leaves a newline-less
+		// JSON prefix of the header itself.
+		{"torn mid-write", `{"type":"header","campaign":"tornhead","spec_ha`},
+		// Header-line corruption: complete line, unreadable JSON.
+		{"corrupt json", "{\"type\":\x00garbage\n"},
+		// A complete, valid line that is not a header (no spec anchor).
+		{"wrong type", `{"type":"cell","key":"fig7a/af_mN/1"}` + "\n"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "journal.jsonl")
+			if err := os.WriteFile(path, []byte(tc.content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			j, replayed, err := OpenJournal(path, sp)
+			if err != nil {
+				t.Fatalf("torn header wedged the journal: %v", err)
+			}
+			if len(replayed) != 0 {
+				t.Fatalf("replayed %d cells from an unreadable journal", len(replayed))
+			}
+			// The unreadable bytes are preserved for forensics…
+			backup, err := os.ReadFile(path + ".corrupt")
+			if err != nil {
+				t.Fatalf("no backup of the corrupt journal: %v", err)
+			}
+			if string(backup) != tc.content {
+				t.Fatal("backup does not hold the original bytes")
+			}
+			// …and the fresh journal works end to end.
+			if err := j.Record(cells[0].Key(), syntheticResult(rng)); err != nil {
+				t.Fatal(err)
+			}
+			j.Close()
+			j2, replayed, err := OpenJournal(path, sp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j2.Close()
+			if len(replayed) != 1 {
+				t.Fatalf("fresh journal replayed %d cells, want 1", len(replayed))
+			}
+		})
+	}
+	// An empty (or absent) journal is the ordinary fresh path — no backup.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "journal.jsonl")
+	j, _, err := OpenJournal(path, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := os.Stat(path + ".corrupt"); err == nil {
+		t.Fatal("fresh journal spuriously backed up")
+	}
+}
+
+func TestParseCellKey(t *testing.T) {
+	// Round-trip: every enumerated cell's key parses back to the cell.
+	sp := Spec{Name: "x", Runs: 2, Figures: []string{"fig7a"}, HazardSeeds: 1, Curve: true}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := sp.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		got, err := ParseCellKey(c.Key())
+		if err != nil {
+			t.Fatalf("ParseCellKey(%q): %v", c.Key(), err)
+		}
+		if got != c {
+			t.Fatalf("ParseCellKey(%q) = %+v, want %+v", c.Key(), got, c)
+		}
+	}
+	for _, bad := range []string{
+		"",                  // empty
+		"fig7a",             // no arm or seed
+		"fig7a/af_mN",       // no seed
+		"fig7a/af_mN/1/2",   // too many parts
+		"fig7a/af_mN/x",     // non-numeric seed
+		"fig7a/af_mN/-1",    // negative seed
+		"/af_mN/1",          // empty figure
+		"fig7a//1",          // empty arm
+		"fig7a/af_mN/1.5",   // fractional seed
+		"fig7a/af_mN/ 1",    // padded seed
+		"fig7a/af_mN/99999999999999999999", // seed overflows uint64
+	} {
+		if _, err := ParseCellKey(bad); err == nil {
+			t.Errorf("ParseCellKey(%q) accepted", bad)
+		}
+	}
+}
+
 func TestJournalRejectsForeignSpec(t *testing.T) {
 	sp := fig7aSpec("mine", 2)
 	sp.Validate()

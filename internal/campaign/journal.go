@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -46,19 +47,41 @@ type Journal struct {
 	w  *bufio.Writer
 }
 
+// errTornHeader reports that the journal's first line is not a readable
+// header — the signature of a hard kill during the very first append (or
+// header-line corruption). Unlike a spec-hash mismatch this carries no
+// user intent to protect, so OpenJournal recovers instead of erroring.
+var errTornHeader = errors.New("campaign: journal header line is torn or corrupt")
+
 // OpenJournal opens (creating if needed) the journal at path, verifies its
 // header against the spec, and returns the replayed results of every
 // already-completed cell keyed by cell key. A truncated final line — the
 // signature of a hard kill mid-write — is discarded and overwritten by the
-// next append. Replayed entries with keys the spec does not enumerate are
-// rejected, since the header hash should have caught any spec drift.
+// next append. A torn or corrupt *header* line means no entry after it is
+// trustworthy: the file is moved aside to <path>.corrupt (replacing any
+// earlier backup) and the journal starts fresh, so a kill during the very
+// first append never wedges the campaign. Replayed entries with keys the
+// spec does not enumerate are rejected, since the header hash should have
+// caught any spec drift.
 func OpenJournal(path string, sp Spec) (*Journal, map[string]CellResult, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("campaign: %w", err)
 	}
 	replayed, goodOff, err := replay(f, sp)
-	if err != nil {
+	if errors.Is(err, errTornHeader) {
+		// Empty-with-backup: preserve the unreadable bytes for forensics,
+		// then reopen a pristine file at the same path.
+		f.Close()
+		if err := os.Rename(path, path+".corrupt"); err != nil {
+			return nil, nil, fmt.Errorf("campaign: backing up corrupt journal: %w", err)
+		}
+		f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("campaign: %w", err)
+		}
+		replayed, goodOff = map[string]CellResult{}, 0
+	} else if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
@@ -103,6 +126,10 @@ func replay(f *os.File, sp Spec) (map[string]CellResult, int64, error) {
 	for {
 		line, err := r.ReadBytes('\n')
 		if err == io.EOF {
+			if first && len(bytes.TrimSpace(line)) > 0 {
+				// The header append itself was torn mid-write.
+				return nil, 0, errTornHeader
+			}
 			// No trailing newline: the final append was torn. Discard it.
 			break
 		}
@@ -111,13 +138,19 @@ func replay(f *os.File, sp Spec) (map[string]CellResult, int64, error) {
 		}
 		var e entry
 		if json.Unmarshal(bytes.TrimSpace(line), &e) != nil {
+			if first {
+				// An unreadable first line leaves every later line
+				// unanchored — no header means no spec check — so the
+				// whole file is untrustworthy, not just a torn tail.
+				return nil, 0, errTornHeader
+			}
 			// A corrupt line can only be the torn tail of a hard kill;
 			// anything after it is unreachable by the appender, so stop.
 			break
 		}
 		if first {
 			if e.Type != "header" {
-				return nil, 0, fmt.Errorf("campaign: journal does not start with a header (got %q)", e.Type)
+				return nil, 0, errTornHeader
 			}
 			if e.SpecHash != sp.Hash() {
 				return nil, 0, fmt.Errorf("campaign: journal was written by a different spec (campaign %q, hash %.12s… vs %.12s…) — use a new campaign name or delete the old results directory",

@@ -250,6 +250,16 @@ func runPool(ctx context.Context, sp Spec, dispatch []Cell, opts Options, j *Jou
 	return firstErr
 }
 
+// ExecuteCell runs one cell exactly as the in-process campaign pool would
+// — resource accounting included — without touching any journal. It is
+// the execution primitive fabric workers use: the CellResult it returns
+// is byte-for-byte the journal-line payload a single-process run of the
+// same cell would have recorded (modulo the wall-clock resource fields,
+// which are outside the byte-identity guarantee by design).
+func ExecuteCell(c Cell, gauges *telemetry.RunGauges) (CellResult, error) {
+	return runCell(experiment.Figures(), c, "", gauges)
+}
+
 // runCell executes one cell of any kind under per-cell resource
 // accounting. When traceDir is non-empty, figure cells run with a
 // per-cell file tracer writing a JSONL stream and counter rollup named

@@ -151,6 +151,17 @@ type Cell struct {
 // Key renders the stable journal key, "<figure>/<arm>/<seed>".
 func (c Cell) Key() string { return fmt.Sprintf("%s/%s/%d", c.Figure, c.Arm, c.Seed) }
 
+// ParseCellKey inverts Key. The fabric reuses cell keys verbatim as the
+// unit of leasing, so malformed keys must fail here — before a bogus
+// lease ever reaches a worker or a journal.
+func ParseCellKey(key string) (Cell, error) {
+	ec, err := experiment.ParseCellKey(key)
+	if err != nil {
+		return Cell{}, fmt.Errorf("campaign: %w", err)
+	}
+	return Cell{Figure: ec.Figure, Arm: ec.Arm, Seed: ec.Seed}, nil
+}
+
 // isShowcase reports whether the cell runs outside the figure registry.
 func (c Cell) isShowcase() bool {
 	return c.Figure == hazardGFID || c.Figure == hazardCBFID || c.Figure == curveID

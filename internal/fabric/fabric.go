@@ -1,0 +1,188 @@
+// Package fabric is the distributed campaign layer: an HTTP coordinator
+// that leases (figure, arm, seed) cells to worker processes and merges
+// their results into the standard campaign journal, so a campaign sharded
+// across many machines finalizes artifacts byte-identical to a
+// single-process run.
+//
+// The design leans entirely on two properties the campaign subsystem
+// already guarantees:
+//
+//   - Cells are idempotent. A cell key fully determines its result (the
+//     simulation is seeded and deterministic), so re-running a cell after
+//     a lost worker — or accepting whichever of two racing completions
+//     arrives first — cannot change the merged artifacts. Only the
+//     wall-clock resource measurements differ, and those live outside the
+//     byte-identity guarantee by construction (resources.json).
+//
+//   - Aggregation is order-independent. The campaign aggregator folds
+//     floats strictly in canonical seed order regardless of arrival
+//     order, so cells completing on different machines in any
+//     interleaving finalize to the same bytes.
+//
+// On top of that the fabric adds the distribution mechanics: leases with
+// heartbeat renewal, lease-expiry requeue, bounded per-cell retry with
+// exponential backoff, duplicate-completion suppression, graceful drain,
+// and journal-backed recovery across coordinator restarts. The journal is
+// the only durable state — a coordinator that crashes mid-campaign is
+// resubmitted with resume=true and replays exactly like a single-process
+// `geosim -campaign -resume`.
+package fabric
+
+import (
+	"time"
+
+	"github.com/vanetsec/georoute/internal/campaign"
+)
+
+// Wire paths of the coordinator API. All request/response bodies are
+// JSON; unknown fields are rejected so protocol drift fails loudly.
+const (
+	PathSubmit    = "/fabric/submit"
+	PathStatus    = "/fabric/status"
+	PathLease     = "/fabric/lease"
+	PathHeartbeat = "/fabric/heartbeat"
+	PathComplete  = "/fabric/complete"
+	PathFail      = "/fabric/fail"
+	PathDrain     = "/fabric/drain"
+)
+
+// SubmitRequest submits (or re-submits) a campaign to the coordinator.
+// Submission is idempotent: re-submitting a spec whose hash matches the
+// already-registered campaign of the same name returns the current status
+// instead of erroring, so "submit -wait" can be retried freely.
+type SubmitRequest struct {
+	Spec campaign.Spec `json:"spec"`
+	// Resume replays an existing journal (the same contract as geosim
+	// -resume): without it, a journal that already holds cells is
+	// rejected rather than silently extended.
+	Resume bool `json:"resume,omitempty"`
+}
+
+// SubmitResponse acknowledges a submission.
+type SubmitResponse struct {
+	Campaign CampaignStatus `json:"campaign"`
+}
+
+// LeaseRequest asks for one cell to execute.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants a cell lease, or reports that no work is
+// available. A worker seeing Draining without a grant should exit: the
+// coordinator will not hand out more work.
+type LeaseResponse struct {
+	Granted  bool   `json:"granted"`
+	Draining bool   `json:"draining,omitempty"`
+	Campaign string `json:"campaign,omitempty"`
+	// Key is the cell key, "<figure>/<arm>/<seed>" — the same string the
+	// journal uses, reused verbatim as the unit of leasing.
+	Key string `json:"key,omitempty"`
+	// Lease is the opaque lease token; heartbeats and completions quote
+	// it so the coordinator can tell a live lease from a stale one.
+	Lease      string  `json:"lease,omitempty"`
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+// HeartbeatRequest renews a lease mid-cell.
+type HeartbeatRequest struct {
+	Worker   string `json:"worker"`
+	Campaign string `json:"campaign"`
+	Key      string `json:"key"`
+	Lease    string `json:"lease"`
+}
+
+// HeartbeatResponse reports whether the lease is still held. Lost means
+// the lease expired and was requeued (or completed by someone else); the
+// worker may keep running — its completion will be accepted if it is
+// first, or suppressed as a duplicate.
+type HeartbeatResponse struct {
+	OK   bool `json:"ok"`
+	Lost bool `json:"lost,omitempty"`
+}
+
+// CompleteRequest streams one finished cell back to the coordinator. The
+// Result payload is exactly the journal-line payload a single-process
+// campaign would have written for this cell.
+type CompleteRequest struct {
+	Worker   string              `json:"worker"`
+	Campaign string              `json:"campaign"`
+	Key      string              `json:"key"`
+	Lease    string              `json:"lease"`
+	Result   campaign.CellResult `json:"result"`
+}
+
+// CompleteResponse acknowledges a completion. Duplicate means another
+// completion for the cell was journaled first and this one was discarded
+// — not an error, just the race resolving.
+type CompleteResponse struct {
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// FailRequest reports that a cell's execution errored. The coordinator
+// requeues it with exponential backoff until the per-cell retry budget is
+// exhausted.
+type FailRequest struct {
+	Worker   string `json:"worker"`
+	Campaign string `json:"campaign"`
+	Key      string `json:"key"`
+	Lease    string `json:"lease"`
+	Error    string `json:"error"`
+}
+
+// DrainRequest asks the coordinator to stop granting leases. In-flight
+// cells complete normally; idle workers exit on their next lease poll.
+type DrainRequest struct{}
+
+// CampaignStatus is one campaign's progress snapshot.
+type CampaignStatus struct {
+	Name     string `json:"name"`
+	SpecHash string `json:"spec_hash"`
+	// Phase is "running", "complete" or "failed".
+	Phase    string `json:"phase"`
+	Failure  string `json:"failure,omitempty"`
+	Total    int    `json:"total"`
+	Done     int    `json:"done"`
+	Replayed int    `json:"replayed"`
+	Executed int    `json:"executed"`
+	Pending  int    `json:"pending"`
+	Leased   int    `json:"leased"`
+	// FailedCells counts cells that exhausted their retry budget.
+	FailedCells int `json:"failed_cells"`
+	// Requeued counts lease expiries that returned a cell to the queue;
+	// Retried counts re-grants after an explicit worker-reported failure.
+	Requeued   int `json:"requeued"`
+	Retried    int `json:"retried"`
+	Duplicates int `json:"duplicates"`
+	// CellsPerSec and ETASeconds describe executed-cell throughput since
+	// the campaign was (re)submitted to this coordinator process.
+	CellsPerSec float64 `json:"cells_per_sec"`
+	ETASeconds  float64 `json:"eta_seconds"`
+	// Dir is the campaign's results directory on the coordinator host.
+	Dir string `json:"dir"`
+}
+
+// WorkerStatus is the coordinator's view of one worker.
+type WorkerStatus struct {
+	ID string `json:"id"`
+	// LastSeenSeconds is the age of the worker's last request.
+	LastSeenSeconds float64 `json:"last_seen_seconds"`
+	Live            bool    `json:"live"`
+	Completed       int     `json:"completed"`
+}
+
+// StatusResponse is the full coordinator snapshot.
+type StatusResponse struct {
+	Draining  bool             `json:"draining"`
+	Campaigns []CampaignStatus `json:"campaigns"`
+	Workers   []WorkerStatus   `json:"workers"`
+}
+
+// Defaults for coordinator tuning knobs.
+const (
+	DefaultLeaseTTL    = 15 * time.Second
+	DefaultMaxRetries  = 5
+	DefaultBackoffBase = 500 * time.Millisecond
+	// maxBackoff caps the exponential retry backoff.
+	maxBackoff = 30 * time.Second
+)

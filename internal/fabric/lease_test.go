@@ -1,0 +1,179 @@
+package fabric
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func testTable(keys []string, done map[string]bool) *leaseTable {
+	return newLeaseTable(keys, done, 10*time.Second, 2, 100*time.Millisecond)
+}
+
+func TestGrantCanonicalOrder(t *testing.T) {
+	lt := testTable([]string{"a", "b", "c"}, nil)
+	now := time.Unix(1000, 0)
+	var got []string
+	for {
+		key, lease, ok := lt.grant(now, "w1")
+		if !ok {
+			break
+		}
+		if lease == "" {
+			t.Fatal("granted lease has no token")
+		}
+		got = append(got, key)
+	}
+	if strings.Join(got, ",") != "a,b,c" {
+		t.Fatalf("grant order %v, want canonical a,b,c", got)
+	}
+	if lt.pending != 0 || lt.leased != 3 {
+		t.Fatalf("counters pending=%d leased=%d after exhaustion", lt.pending, lt.leased)
+	}
+}
+
+func TestReplayedCellsStartDone(t *testing.T) {
+	lt := testTable([]string{"a", "b"}, map[string]bool{"a": true})
+	if lt.done != 1 || lt.pending != 1 {
+		t.Fatalf("done=%d pending=%d, want 1/1", lt.done, lt.pending)
+	}
+	key, _, ok := lt.grant(time.Unix(1000, 0), "w1")
+	if !ok || key != "b" {
+		t.Fatalf("grant over replayed table gave %q ok=%v, want b", key, ok)
+	}
+}
+
+func TestHeartbeatRenewsLease(t *testing.T) {
+	lt := testTable([]string{"a"}, nil)
+	t0 := time.Unix(1000, 0)
+	key, lease, ok := lt.grant(t0, "w1")
+	if !ok {
+		t.Fatal("grant failed")
+	}
+	// Renew at half TTL; without the renewal the lease would expire at
+	// t0+TTL, with it the deadline slides to t0+TTL/2+TTL.
+	if lost := lt.heartbeat(t0.Add(5*time.Second), key, lease); lost {
+		t.Fatal("heartbeat on live lease reported lost")
+	}
+	if req := lt.expire(t0.Add(11 * time.Second)); len(req) != 0 {
+		t.Fatalf("renewed lease expired: %v", req)
+	}
+	if req := lt.expire(t0.Add(16 * time.Second)); len(req) != 1 {
+		t.Fatalf("lease survived past its renewed deadline: %v", req)
+	}
+	// The old token is now stale.
+	if lost := lt.heartbeat(t0.Add(16*time.Second), key, lease); !lost {
+		t.Fatal("heartbeat with a stale lease token not reported lost")
+	}
+}
+
+func TestExpiryRequeueWithBackoff(t *testing.T) {
+	lt := testTable([]string{"a"}, nil)
+	t0 := time.Unix(1000, 0)
+	if _, _, ok := lt.grant(t0, "w1"); !ok {
+		t.Fatal("grant failed")
+	}
+	exp := t0.Add(11 * time.Second)
+	if req := lt.expire(exp); len(req) != 1 || req[0] != "a" {
+		t.Fatalf("expire requeued %v, want [a]", req)
+	}
+	if lt.requeued != 1 || lt.pending != 1 || lt.leased != 0 {
+		t.Fatalf("counters requeued=%d pending=%d leased=%d", lt.requeued, lt.pending, lt.leased)
+	}
+	// Backoff gates the re-grant: first retry waits backoffBase.
+	if _, _, ok := lt.grant(exp, "w2"); ok {
+		t.Fatal("cell granted before its backoff elapsed")
+	}
+	key, _, ok := lt.grant(exp.Add(100*time.Millisecond), "w2")
+	if !ok || key != "a" {
+		t.Fatalf("cell not grantable after backoff: %q ok=%v", key, ok)
+	}
+}
+
+func TestRetryBudgetExhaustion(t *testing.T) {
+	lt := testTable([]string{"a"}, nil) // maxRetries = 2
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		key, lease, ok := lt.grant(now.Add(time.Duration(i)*time.Minute), "w1")
+		if !ok {
+			t.Fatalf("grant %d failed", i)
+		}
+		lt.fail(now.Add(time.Duration(i)*time.Minute), key, lease, "boom")
+	}
+	if lt.failed != 0 {
+		t.Fatalf("cell parked as failed within budget (retries=%d)", lt.byKey["a"].retries)
+	}
+	key, lease, ok := lt.grant(now.Add(time.Hour), "w1")
+	if !ok {
+		t.Fatal("third grant failed")
+	}
+	lt.fail(now.Add(time.Hour), key, lease, "boom again")
+	if lt.failed != 1 || lt.pending != 0 {
+		t.Fatalf("third failure did not exhaust the budget: failed=%d pending=%d", lt.failed, lt.pending)
+	}
+	fc := lt.failedCells()
+	if len(fc) != 1 || !strings.Contains(fc[0], "boom again") {
+		t.Fatalf("failedCells = %v, want the last error", fc)
+	}
+}
+
+func TestCompleteFirstWinsAndDuplicates(t *testing.T) {
+	lt := testTable([]string{"a", "b"}, nil)
+	now := time.Unix(1000, 0)
+	key, _, _ := lt.grant(now, "w1")
+	accepted, dup := lt.complete(key)
+	if !accepted || dup {
+		t.Fatalf("first completion accepted=%v dup=%v", accepted, dup)
+	}
+	accepted, dup = lt.complete(key)
+	if accepted || !dup {
+		t.Fatalf("second completion accepted=%v dup=%v, want duplicate", accepted, dup)
+	}
+	if lt.duplicates != 1 || lt.done != 1 {
+		t.Fatalf("counters duplicates=%d done=%d", lt.duplicates, lt.done)
+	}
+	// A never-leased pending cell's completion is also accepted: the
+	// result is deterministic, ownership is only an optimization.
+	accepted, dup = lt.complete("b")
+	if !accepted || dup {
+		t.Fatalf("pending-cell completion accepted=%v dup=%v", accepted, dup)
+	}
+	if _, ok := lt.byKey["zzz"]; ok {
+		t.Fatal("unexpected cell")
+	}
+	if accepted, _ := lt.complete("zzz"); accepted {
+		t.Fatal("unknown key accepted")
+	}
+}
+
+func TestCompleteRecoversFailedCell(t *testing.T) {
+	lt := newLeaseTable([]string{"a"}, nil, 10*time.Second, 0, time.Millisecond)
+	// maxRetries=0 is normalized to the default by the coordinator; at the
+	// table level it means the first failure parks the cell.
+	now := time.Unix(1000, 0)
+	key, lease, _ := lt.grant(now, "w1")
+	lt.fail(now, key, lease, "boom")
+	if lt.failed != 1 {
+		t.Fatalf("failed=%d, want 1", lt.failed)
+	}
+	// A completion racing the budget exhaustion still lands.
+	accepted, dup := lt.complete("a")
+	if !accepted || dup {
+		t.Fatalf("completion of failed cell accepted=%v dup=%v", accepted, dup)
+	}
+	if lt.failed != 0 || lt.done != 1 {
+		t.Fatalf("counters failed=%d done=%d after recovery", lt.failed, lt.done)
+	}
+}
+
+func TestFailWithStaleLeaseIgnored(t *testing.T) {
+	lt := testTable([]string{"a"}, nil)
+	now := time.Unix(1000, 0)
+	key, lease, _ := lt.grant(now, "w1")
+	lt.expire(now.Add(time.Minute)) // requeues, invalidating the token
+	before := lt.byKey[key].retries
+	lt.fail(now.Add(time.Minute), key, lease, "late failure")
+	if lt.byKey[key].retries != before {
+		t.Fatal("stale-lease failure mutated the cell")
+	}
+}

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -17,6 +18,14 @@ import (
 // leaks onto http.DefaultServeMux.
 func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
+	Register(mux, reg)
+	return mux
+}
+
+// Register mounts the telemetry endpoints on an existing mux — the hook
+// for services (the fabric coordinator) that serve their own API beside
+// /metrics and pprof on one listener.
+func Register(mux *http.ServeMux, reg *Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
@@ -30,7 +39,6 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // Server is a running telemetry HTTP listener.
@@ -57,13 +65,30 @@ func ListenAndServe(reg *Registry, addr string) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the listener. In-flight scrapes are cut off; the campaign
-// is the long-lived thing here, not the scrape.
+// Close stops the listener immediately. In-flight scrapes are cut off;
+// prefer Shutdown on a clean exit so a scrape that raced the end of the
+// run still gets its response.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
 	return s.srv.Close()
+}
+
+// Shutdown stops accepting new scrapes and waits — up to the context
+// deadline — for in-flight responses to flush before closing the
+// listener. This is the clean-exit path: a Prometheus scrape that landed
+// just as the run finished is answered instead of reset.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Past the deadline: fall back to the hard close so the process
+		// never hangs on a stuck scraper.
+		return s.srv.Close()
+	}
+	return nil
 }
 
 // WriteDebugDump writes a point-in-time diagnostic pair into dir:
