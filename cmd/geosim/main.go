@@ -76,6 +76,7 @@ func main() {
 		runs     = flag.Int("runs", 10, "simulation runs per arm")
 		format   = flag.String("format", "table", "output format: table, csv or json")
 		seeds    = flag.Int("showcase-seeds", 5, "seeds for showcase experiments (fig12a/fig12b)")
+		fwd      = flag.String("forwarder", "", "override the forwarding strategy of every arm in -experiment mode (see -list for names)")
 		campPath = flag.String("campaign", "", "run a campaign spec (JSON, see campaigns/) instead of a single experiment")
 		resume   = flag.Bool("resume", false, "resume an interrupted campaign from its journal")
 		results  = flag.String("results", "results", "parent directory for campaign results")
@@ -131,6 +132,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "geosim: pass -experiment <id>, -campaign <spec> or -list")
 		os.Exit(2)
 	}
+	if *fwd != "" {
+		if _, ok := georoute.LookupForwarder(*fwd); !ok {
+			fmt.Fprintf(os.Stderr, "geosim: unknown forwarder %q (registered: %s)\n", *fwd, strings.Join(georoute.ForwarderNames(), ", "))
+			os.Exit(2)
+		}
+	}
 
 	var reg *georoute.TelemetryRegistry
 	if *listen != "" || *progress {
@@ -157,7 +164,7 @@ func main() {
 		stopHB = startFigureHeartbeat(reg, *expID)
 	}
 	for _, id := range ids {
-		if err := runExperiment(id, *runs, *format, *seeds, *traceDir, reg); err != nil {
+		if err := runExperiment(id, *runs, *format, *seeds, *traceDir, *fwd, reg); err != nil {
 			fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
 			os.Exit(1)
 		}
@@ -299,6 +306,7 @@ func printList() {
 	fmt.Println("  fig13       Blind-curve collision: speed profiles")
 	fmt.Println("  all         everything above")
 	fmt.Println()
+	fmt.Printf("Forwarding strategies (-forwarder): %s\n", strings.Join(georoute.ForwarderNames(), ", "))
 	fmt.Println("Campaigns (resumable sweeps): geosim -campaign campaigns/<spec>.json")
 }
 
@@ -419,7 +427,7 @@ func printJSON(v any) error {
 	return nil
 }
 
-func runExperiment(id string, runs int, format string, showcaseSeeds int, traceDir string, reg *georoute.TelemetryRegistry) error {
+func runExperiment(id string, runs int, format string, showcaseSeeds int, traceDir, forwarder string, reg *georoute.TelemetryRegistry) error {
 	switch id {
 	case "tableI":
 		if format == "json" {
@@ -443,6 +451,13 @@ func runExperiment(id string, runs int, format string, showcaseSeeds int, traceD
 	fig, ok := georoute.Figures()[id]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (try -list)", id)
+	}
+	if forwarder != "" {
+		// Override every arm's strategy; the tournament figures already
+		// sweep all of them and are left as defined.
+		for i := range fig.Arms {
+			fig.Arms[i].Scenario.Forwarder = forwarder
+		}
 	}
 	if format == "json" {
 		res, err := runFigure(fig, runs, traceDir, reg)

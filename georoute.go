@@ -222,6 +222,32 @@ const (
 // DefaultScenario returns the paper's default simulation settings (§IV-A).
 func DefaultScenario() Scenario { return experiment.Default() }
 
+// Topology selects the world geometry of a scenario.
+type Topology = experiment.Topology
+
+// Topologies.
+const (
+	TopoRoad     = experiment.TopoRoad
+	TopoLocalMin = experiment.TopoLocalMin
+)
+
+// ForwardStrategy bundles the next-hop and contention policies of one
+// registered forwarding strategy (the forwarder arena).
+type ForwardStrategy = geonet.Strategy
+
+// DefaultForwarder is the registry name of the standard GF+CBF pair.
+const DefaultForwarder = geonet.DefaultForwarder
+
+// ForwarderNames returns the registered strategy names in sorted order.
+func ForwarderNames() []string { return geonet.StrategyNames() }
+
+// LookupForwarder resolves a strategy name ("" = the default).
+func LookupForwarder(name string) (ForwardStrategy, bool) { return geonet.LookupStrategy(name) }
+
+// RegisterForwarder adds a strategy to the arena; Scenario.Forwarder and
+// WorldConfig.Forwarder accept its name afterwards.
+func RegisterForwarder(s ForwardStrategy) { geonet.RegisterStrategy(s) }
+
 // RunOnce executes a single seeded run of a scenario arm.
 func RunOnce(s Scenario, seed uint64) experiment.RunResult { return experiment.RunOnce(s, seed) }
 

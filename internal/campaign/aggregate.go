@@ -50,6 +50,8 @@ type armAgg struct {
 	atkStats attack.Stats
 	proto    geonet.Stats
 	overall  metrics.Stream
+	latSum   float64
+	latCount uint64
 }
 
 // pairAgg streams the seed-paired drop rate of one pair. It holds each
@@ -201,6 +203,9 @@ func (g *armAgg) feed(idx int, r *experiment.RunResult) {
 		g.packets += r.PacketsSent
 		g.atkStats.Add(r.AttackerStats)
 		g.proto.Add(r.Protocol)
+		// Seed-order float fold, matching experiment.mergeRuns exactly.
+		g.latSum += r.LatencySumSeconds
+		g.latCount += r.LatencyCount
 	}
 }
 
@@ -271,8 +276,9 @@ func (a *Aggregator) figureResult(id string) experiment.FigureResult {
 		Attacker:   make(map[string]attack.Stats),
 		Drops:      make(map[string]float64),
 		DropSpread: make(map[string]metrics.Spread),
-		AccumDrops: make(map[string][]float64),
-		Protocol:   make(map[string]geonet.Stats),
+		AccumDrops:  make(map[string][]float64),
+		Protocol:    make(map[string]geonet.Stats),
+		LatencyMean: make(map[string]float64),
 	}
 	merged := make(map[string]*metrics.BinSeries, len(fig.Arms))
 	for _, arm := range fig.Arms {
@@ -289,6 +295,11 @@ func (a *Aggregator) figureResult(id string) experiment.FigureResult {
 		res.Packets[arm.Label] = g.packets
 		res.Attacker[arm.Label] = g.atkStats
 		res.Protocol[arm.Label] = g.proto
+		if g.latCount > 0 {
+			res.LatencyMean[arm.Label] = g.latSum / float64(g.latCount)
+		} else {
+			res.LatencyMean[arm.Label] = 0
+		}
 	}
 	for _, p := range fig.Pairs {
 		ab := metrics.ABResult{Free: merged[p.Free], Attacked: merged[p.Attacked]}
@@ -357,6 +368,7 @@ func (a *Aggregator) Finalize(dir string) error {
 		Figures:  append([]string{}, a.figIDs...),
 		Drops:    make(map[string]map[string]summaryPair),
 	}
+	var tourRes, localMinRes *experiment.FigureResult
 	for _, id := range a.figIDs {
 		res := a.figureResult(id)
 		art := BuildFigureArtifact(res)
@@ -368,6 +380,22 @@ func (a *Aggregator) Finalize(dir string) error {
 			drops[p.Label] = summaryPair{Drop: res.Drops[p.Label], PaperDrop: p.PaperDrop, DropSpread: res.DropSpread[p.Label]}
 		}
 		sum.Drops[id] = drops
+		switch id {
+		case tournamentID:
+			r := res
+			tourRes = &r
+		case tournamentLocalMinID:
+			r := res
+			localMinRes = &r
+		}
+	}
+	// A campaign covering the tournament figure also emits the ranked
+	// leaderboard across every competing strategy.
+	if tourRes != nil {
+		sum.Figures = append(sum.Figures, rankingID)
+		if err := writeArtifact(dir, rankingID, BuildRankingArtifact(*tourRes, localMinRes)); err != nil {
+			return err
+		}
 	}
 	if a.spec.HazardSeeds > 0 {
 		for _, id := range []string{hazardGFID, hazardCBFID} {

@@ -66,6 +66,9 @@ type FigureResult struct {
 	// Protocol aggregates the GeoNetworking counters per arm across all
 	// runs — the per-reason drop rollup of the whole arm.
 	Protocol map[string]geonet.Stats
+	// LatencyMean is each arm's mean first-delivery end-to-end latency in
+	// seconds (0 when the arm delivered nothing).
+	LatencyMean map[string]float64
 }
 
 // TraceHook provisions a per-cell tracer for traced figure runs. It
@@ -134,8 +137,9 @@ func (f Figure) RunObserved(runs int, hook TraceHook, reg *telemetry.Registry) (
 		Attacker:   make(map[string]attack.Stats),
 		Drops:      make(map[string]float64),
 		DropSpread: make(map[string]metrics.Spread),
-		AccumDrops: make(map[string][]float64),
-		Protocol:   make(map[string]geonet.Stats),
+		AccumDrops:  make(map[string][]float64),
+		Protocol:    make(map[string]geonet.Stats),
+		LatencyMean: make(map[string]float64),
 	}
 	// Spreads fold per-run series and must run before mergeRuns, which
 	// folds every run into out[0].Series in place.
@@ -161,6 +165,11 @@ func (f Figure) RunObserved(runs int, hook TraceHook, reg *telemetry.Registry) (
 		res.Packets[arm.Label] = merged.PacketsSent
 		res.Attacker[arm.Label] = merged.AttackerStats
 		res.Protocol[arm.Label] = merged.Protocol
+		if merged.LatencyCount > 0 {
+			res.LatencyMean[arm.Label] = merged.LatencySumSeconds / float64(merged.LatencyCount)
+		} else {
+			res.LatencyMean[arm.Label] = 0
+		}
 	}
 	for _, p := range f.Pairs {
 		free, okF := series[p.Free]
@@ -584,7 +593,58 @@ func Figures() map[string]Figure {
 		add(Figure{ID: "ablation-attacker-delay", Title: "Ablation: attacker capture-to-replay latency vs blockage rate", Arms: arms, Pairs: pairs})
 	}
 
+	// ---- Forwarder arena tournaments ----
+	{
+		// One cell block per registered strategy: attack-free and attacked
+		// arms under both of the paper's attacks, scored on delivery,
+		// overhead, latency and attack-delta by the campaign aggregator.
+		var arms []Arm
+		var pairs []Pair
+		for _, name := range TournamentStrategies() {
+			inter := Default()
+			inter.Forwarder = name
+			inter.Duration = 60 * time.Second
+			intra := inter
+			intra.Workload = IntraArea
+			intra.Drain = 10 * time.Second
+			intra.AttackRange = radio.Range(radio.DSRC, radio.NLoSMedian)
+			arms = append(arms,
+				Arm{Label: "af_inter_" + name, Scenario: inter},
+				Arm{Label: "hijack_" + name, Scenario: inter.withAttack(attack.InterArea)},
+				Arm{Label: "af_intra_" + name, Scenario: intra},
+				Arm{Label: "echo_" + name, Scenario: intra.withAttack(attack.IntraArea)},
+			)
+			pairs = append(pairs,
+				Pair{Label: "hijack_" + name, Free: "af_inter_" + name, Attacked: "hijack_" + name, PaperDrop: -1},
+				Pair{Label: "echo_" + name, Free: "af_intra_" + name, Attacked: "echo_" + name, PaperDrop: -1},
+			)
+		}
+		add(Figure{ID: "tournament", Title: "Forwarder arena: delivery, overhead, latency and attack resilience per strategy", Arms: arms, Pairs: pairs})
+	}
+	{
+		// The designed local-minimum detour (see LocalMinLayout): greedy
+		// strands every packet at the dead end; perimeter recovery walks
+		// around it. The drain outlives the packet lifetime so stranded
+		// buffers show up as GFExpired, not as in-flight state.
+		var arms []Arm
+		for _, name := range TournamentStrategies() {
+			s := Default()
+			s.Forwarder = name
+			s.Topology = TopoLocalMin
+			s.Duration = 30 * time.Second
+			s.Drain = 60 * time.Second
+			arms = append(arms, Arm{Label: "lm_" + name, Scenario: s})
+		}
+		add(Figure{ID: "tournament-localmin", Title: "Forwarder arena: designed local-minimum detour (greedy strands, perimeter recovers)", Arms: arms})
+	}
+
 	return figs
+}
+
+// TournamentStrategies returns the forwarding strategies competing in the
+// tournament figures: every registered strategy, in sorted name order.
+func TournamentStrategies() []string {
+	return geonet.StrategyNames()
 }
 
 // FigureIDs returns the registry keys in sorted order.

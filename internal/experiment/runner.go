@@ -44,6 +44,12 @@ type RunResult struct {
 	// determinism-stable measure of work used by per-cell resource
 	// accounting. Excluded from figure artifacts.
 	Events uint64
+	// LatencySumSeconds and LatencyCount fold the end-to-end latency of
+	// every FIRST delivery (per packet per receiver) across merged runs;
+	// their ratio is the arm's mean delivery latency. Both fold in seed
+	// order so campaign aggregation reproduces them bit-identically.
+	LatencySumSeconds float64
+	LatencyCount      uint64
 }
 
 // Observe bundles the optional observability sinks of a run: the packet-
@@ -85,17 +91,30 @@ func RunOnceObserved(s Scenario, seed uint64, obs Observe) RunResult {
 		cfgRule = mitigation.RHLDropCheck{MaxDrop: s.RHLMaxDrop}
 	}
 
-	w := vanet.New(vanet.Config{
+	var w *vanet.World
+	var latSum float64
+	var latCount uint64
+	firstDelivery := func(t *tracked, addr geonet.Address) {
+		if t.received[addr] {
+			return
+		}
+		t.received[addr] = true
+		latSum += (w.Engine.Now() - t.sentAt).Seconds()
+		latCount++
+	}
+	w = vanet.New(vanet.Config{
 		Seed:             seed,
 		Tech:             s.Tech,
 		RangeClass:       s.VehicleRangeClass,
 		Road:             traffic.RoadConfig{Length: s.RoadLength, LanesPerDirection: s.LanesPerDirection, TwoWay: s.TwoWay},
 		SpawnGap:         s.Spacing,
-		Prepopulate:      s.Prepopulate,
+		Prepopulate:      s.Prepopulate && s.Topology == TopoRoad,
+		SpawnDisabled:    s.Topology == TopoLocalMin,
 		LocTTTL:          s.LocTTTL,
 		NeighborLifetime: s.NeighborLifetime,
 		MaxHopLimit:      s.MaxHopLimit,
 		EdgeFactor:       s.RadioEdgeFactor,
+		Forwarder:        s.Forwarder,
 		ForwardFilter:    cfgFilter,
 		DuplicateRule:    cfgRule,
 		Tracer:           tr,
@@ -108,17 +127,25 @@ func RunOnceObserved(s Scenario, seed uint64, obs Observe) RunResult {
 			switch s.Workload {
 			case InterArea:
 				if addr == t.dest {
-					t.received[addr] = true
+					firstDelivery(t, addr)
 				}
 			case IntraArea:
 				if t.targets[addr] {
-					t.received[addr] = true
+					firstDelivery(t, addr)
 				}
 			}
 		},
 	})
 
-	if s.Workload == InterArea {
+	switch {
+	case s.Topology == TopoLocalMin:
+		src, relays, dest := LocalMinLayout(s.VehicleRange())
+		w.AddStatic(LocalMinSourceAddr, src, 0)
+		for i, p := range relays {
+			w.AddStatic(LocalMinSourceAddr+1+geonet.Address(i), p, 0)
+		}
+		w.AddStatic(vanet.EastDestAddr, dest, 0)
+	case s.Workload == InterArea:
 		w.AddStatic(vanet.WestDestAddr, geo.Pt(-20, 0), 0)
 		w.AddStatic(vanet.EastDestAddr, geo.Pt(s.RoadLength+20, 0), 0)
 	}
@@ -143,6 +170,23 @@ func RunOnceObserved(s Scenario, seed uint64, obs Observe) RunResult {
 	area := geo.NewRect(geo.Pt(s.RoadLength/2, 0), s.RoadLength/2, 30, 90)
 
 	generate := func() {
+		if s.Topology == TopoLocalMin {
+			// The static source unicasts toward the east destination; the
+			// interesting behaviour is how each forwarder copes with the
+			// designed dead end, not who sends.
+			r := w.Router(LocalMinSourceAddr)
+			if r == nil {
+				return
+			}
+			_, _, destPos := LocalMinLayout(s.VehicleRange())
+			key := r.SendGeoUnicast(vanet.EastDestAddr, destPos, nil)
+			reg[key] = &tracked{
+				sentAt:   w.Engine.Now(),
+				dest:     vanet.EastDestAddr,
+				received: make(map[geonet.Address]bool),
+			}
+			return
+		}
 		switch s.Workload {
 		case InterArea:
 			type pair struct {
@@ -228,7 +272,14 @@ func RunOnceObserved(s Scenario, seed uint64, obs Observe) RunResult {
 			series.Add(t.sentAt, float64(len(t.received))/float64(len(t.targets)))
 		}
 	}
-	res := RunResult{Series: series, PacketsSent: len(reg), Protocol: w.ProtocolStats(), Events: w.Engine.Executed()}
+	res := RunResult{
+		Series:            series,
+		PacketsSent:       len(reg),
+		Protocol:          w.ProtocolStats(),
+		Events:            w.Engine.Executed(),
+		LatencySumSeconds: latSum,
+		LatencyCount:      latCount,
+	}
 	if atk != nil {
 		res.AttackerStats = atk.Stats()
 	}
@@ -307,6 +358,8 @@ func mergeRuns(out []RunResult) RunResult {
 		merged.AttackerStats.Add(r.AttackerStats)
 		merged.Protocol.Add(r.Protocol)
 		merged.Events += r.Events
+		merged.LatencySumSeconds += r.LatencySumSeconds
+		merged.LatencyCount += r.LatencyCount
 	}
 	return merged
 }

@@ -38,6 +38,22 @@ func (w Workload) String() string {
 	}
 }
 
+// Topology selects the world geometry of a scenario.
+type Topology int
+
+// Topologies.
+const (
+	// TopoRoad is the paper's moving-traffic road (the default).
+	TopoRoad Topology = iota
+	// TopoLocalMin is a static detour topology designed so that greedy
+	// forwarding strands packets at a local minimum (a node none of
+	// whose neighbors is closer to the destination) while a perimeter
+	// recovery strategy can walk around the gap. No vehicles spawn; the
+	// static source unicasts toward the east destination every packet
+	// interval.
+	TopoLocalMin
+)
+
 // Scenario is one fully parameterized experiment arm. The zero value is
 // not usable; start from Default.
 type Scenario struct {
@@ -52,6 +68,13 @@ type Scenario struct {
 	TwoWay            bool
 	Spacing           float64 // inter-vehicle space (spawn gap), m
 	Prepopulate       bool
+	// Topology selects the world geometry (default TopoRoad).
+	Topology Topology
+
+	// Forwarder selects the forwarding strategy for every router by
+	// registry name ("" = the standard GF+CBF pair). See geosim -list
+	// for the registered strategies.
+	Forwarder string
 
 	// Protocol parameters.
 	LocTTTL     time.Duration

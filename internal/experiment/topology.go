@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"github.com/vanetsec/georoute/internal/geo"
+	"github.com/vanetsec/georoute/internal/vanet"
+)
+
+// LocalMinSourceAddr is the static source node of the TopoLocalMin
+// world; the relays take the consecutive addresses after it and the
+// destination is vanet.EastDestAddr.
+const LocalMinSourceAddr = vanet.RSUAddrBase
+
+// LocalMinLayout returns the static node positions of the designed
+// local-minimum topology, scaled to the communication range R:
+//
+//	          D2 ---- D3
+//	         /           \
+//	       D1             D4
+//	        |               \
+//	src --- A                D5 -- dest
+//
+// Every drawn edge is shorter than R and every omitted pair is farther
+// than R apart. A sits 0.62R from the source on the straight line to the
+// destination; its only other neighbor, D1, is FARTHER from the
+// destination than A itself, so greedy forwarding strands every packet
+// at A (a local minimum) and falls back to store-carry-forward — which
+// never resolves, because nothing moves. A right-hand-rule perimeter
+// walk instead leaves A through D1, crosses the Lp→target line closer to
+// the target at D2, resumes greedy there and delivers via D3-D4-D5 in
+// seven hops.
+func LocalMinLayout(R float64) (src geo.Point, relays []geo.Point, dest geo.Point) {
+	src = geo.Pt(0, 0)
+	relays = []geo.Point{
+		geo.Pt(0.62*R, 0),      // A: the local minimum
+		geo.Pt(0.62*R, 0.82*R), // D1
+		geo.Pt(1.30*R, 1.40*R), // D2: strictly closer to dest than A
+		geo.Pt(2.10*R, 1.40*R), // D3
+		geo.Pt(2.90*R, 0.90*R), // D4
+		geo.Pt(3.50*R, 0.35*R), // D5
+	}
+	dest = geo.Pt(3.7*R, 0)
+	return src, relays, dest
+}

@@ -1,0 +1,43 @@
+// Package forward is the forwarder arena: alternative forwarding
+// strategies competing with the standard GF+CBF pair through the
+// geonet strategy registry. The arena exists to answer the question the
+// paper leaves open — how do other geographic forwarders fare against
+// the same replay attacks? — so every strategy here plugs into the
+// unmodified router, keeps the zero-allocation receive path, and is
+// scored by the tournament campaign (internal/experiment).
+//
+// Registered strategies:
+//
+//   - "gpsr": greedy forwarding with right-hand-rule perimeter-mode
+//     recovery over a Gabriel-planarized neighbor graph (Karp & Kung;
+//     arxiv 1203.4827 analyzes the planarization). Escapes the local
+//     minima that strand plain GF.
+//   - "sfot-slot": GF with the CBF contention timer quantized into
+//     discrete slots, an S-FoT+-style timer variant (arxiv 2403.11271).
+//   - "sfot-k2": GF with duplicate-counting contention suppression —
+//     a contention is canceled only after two copies are overheard,
+//     which blunts single-replay echo-suppression attacks.
+//
+// Importing the package (vanet does, for every world) registers all of
+// them.
+package forward
+
+import "github.com/vanetsec/georoute/internal/geonet"
+
+func init() {
+	geonet.RegisterStrategy(geonet.Strategy{
+		Name:          "gpsr",
+		NewNextHop:    func() geonet.NextHopPolicy { return NewGPSR() },
+		NewContention: geonet.NewStandardCBF,
+	})
+	geonet.RegisterStrategy(geonet.Strategy{
+		Name:          "sfot-slot",
+		NewNextHop:    geonet.NewStandardGreedy,
+		NewContention: func() geonet.ContentionPolicy { return SlottedCBF{Slots: DefaultSlots} },
+	})
+	geonet.RegisterStrategy(geonet.Strategy{
+		Name:          "sfot-k2",
+		NewNextHop:    geonet.NewStandardGreedy,
+		NewContention: func() geonet.ContentionPolicy { return NewCounterCBF(2) },
+	})
+}

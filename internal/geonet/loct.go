@@ -1,7 +1,6 @@
 package geonet
 
 import (
-	"sort"
 	"time"
 
 	"github.com/vanetsec/georoute/internal/geo"
@@ -43,6 +42,9 @@ type LocT struct {
 	ttl         time.Duration
 	neighborTTL time.Duration
 	entries     map[Address]*LocTEntry
+	// scratch is the reused enumeration buffer behind Closest, keeping
+	// per-forwarding-decision neighbor walks allocation-free once warm.
+	scratch []*LocTEntry
 }
 
 // DefaultLocTTTL is the standard's default lifetime of a location table
@@ -139,17 +141,37 @@ func (t *LocT) Purge(now time.Duration) {
 // iteration for reproducible runs). The entries are shared; callers must
 // not mutate them.
 func (t *LocT) Neighbors(now time.Duration) []*LocTEntry {
-	out := make([]*LocTEntry, 0, len(t.entries))
+	return t.AppendNeighbors(make([]*LocTEntry, 0, len(t.entries)), now)
+}
+
+// AppendNeighbors appends the live entries to dst in address order,
+// purging expired ones, and returns the extended slice. It is the
+// allocation-free counterpart of Neighbors for callers that reuse a
+// scratch buffer (forwarding strategies enumerate the neighborhood on
+// every hop). The entries are shared; callers must not mutate them.
+func (t *LocT) AppendNeighbors(dst []*LocTEntry, now time.Duration) []*LocTEntry {
+	start := len(dst)
 	for addr, e := range t.entries {
 		if now > e.ExpiresAt {
 			delete(t.entries, addr)
 			continue
 		}
-		_ = addr
-		out = append(out, e)
+		dst = append(dst, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
-	return out
+	// Insertion sort instead of sort.Slice: the appended window is small
+	// (a radio neighborhood) and sort.Slice's closure would allocate on
+	// every forwarding decision.
+	live := dst[start:]
+	for i := 1; i < len(live); i++ {
+		e := live[i]
+		j := i - 1
+		for j >= 0 && live[j].Addr > e.Addr {
+			live[j+1] = live[j]
+			j--
+		}
+		live[j+1] = e
+	}
+	return dst
 }
 
 // Closest returns the live entry whose ADVERTISED position is nearest to
@@ -161,7 +183,8 @@ func (t *LocT) Neighbors(now time.Duration) []*LocTEntry {
 func (t *LocT) Closest(dst geo.Point, now time.Duration, filter func(e *LocTEntry, pos geo.Point) bool) *LocTEntry {
 	var best *LocTEntry
 	bestDist := 0.0
-	for _, e := range t.Neighbors(now) {
+	t.scratch = t.AppendNeighbors(t.scratch[:0], now)
+	for _, e := range t.scratch {
 		pos := e.PV.Pos
 		if filter != nil && !filter(e, pos) {
 			continue

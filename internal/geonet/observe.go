@@ -108,6 +108,7 @@ func (s *Stats) Add(o Stats) {
 	s.Originated += o.Originated
 	s.Delivered += o.Delivered
 	s.GFForwarded += o.GFForwarded
+	s.GFPerimeter += o.GFPerimeter
 	s.GFBuffered += o.GFBuffered
 	s.GFRetries += o.GFRetries
 	s.GFExpired += o.GFExpired

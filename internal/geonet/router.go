@@ -32,6 +32,7 @@ type Stats struct {
 	Delivered       uint64
 
 	GFForwarded  uint64 // unicast next-hop transmissions
+	GFPerimeter  uint64 // next-hop transmissions made in perimeter mode
 	GFBuffered   uint64 // store-carry-forward buffer admissions
 	GFRetries    uint64 // retry attempts from the buffer
 	GFExpired    uint64 // buffered packets dropped at lifetime end
@@ -105,8 +106,14 @@ type Config struct {
 	// OnDeliver is invoked once per packet delivered to the upper layer.
 	OnDeliver func(p *Packet)
 
+	// Forwarder selects the forwarding strategy by registry name (see
+	// RegisterStrategy); empty means the default GF+CBF pair.
+	Forwarder string
+
 	// ForwardFilter and DuplicateRule are the mitigation hooks; nil means
-	// standard-compliant behavior.
+	// standard-compliant behavior. They compose with any Forwarder: the
+	// filter gates every strategy's next-hop candidates, the rule gates
+	// every strategy's duplicate cancels.
 	ForwardFilter ForwardFilter
 	DuplicateRule DuplicateRule
 
@@ -124,6 +131,12 @@ type Router struct {
 	antenna *radio.Antenna
 	loct    *LocT
 	stats   Stats
+
+	// nextHop and contention are the strategy pair resolved from
+	// cfg.Forwarder; per-router instances so policies may keep scratch
+	// state.
+	nextHop    NextHopPolicy
+	contention ContentionPolicy
 
 	seq          uint16
 	state        map[Key]*pktState
@@ -161,6 +174,7 @@ type pktState struct {
 	cbfResolved  bool // forwarded, canceled, or not eligible
 	cbfFirstRHL  uint8
 	cbfSendRHL   uint8
+	cbfDups      int // duplicate copies seen while the contention was armed
 	cbfTimer     *sim.Event
 	cbfForwarded bool
 }
@@ -211,11 +225,9 @@ func NewRouter(cfg Config) *Router {
 	if cfg.RetryInterval == 0 {
 		cfg.RetryInterval = DefaultRetryInterval
 	}
-	if cfg.ForwardFilter == nil {
-		cfg.ForwardFilter = acceptAll{}
-	}
-	if cfg.DuplicateRule == nil {
-		cfg.DuplicateRule = alwaysDuplicate{}
+	strat, ok := LookupStrategy(cfg.Forwarder)
+	if !ok {
+		panic(fmt.Sprintf("geonet: unknown forwarder strategy %q (registered: %v)", cfg.Forwarder, StrategyNames()))
 	}
 	updateFromData := true
 	if cfg.UpdateLocTFromData != nil {
@@ -227,6 +239,8 @@ func NewRouter(cfg Config) *Router {
 	return &Router{
 		cfg:          cfg,
 		loct:         NewLocT(cfg.LocTTTL, cfg.NeighborLifetime),
+		nextHop:      strat.NewNextHop(),
+		contention:   strat.NewContention(),
 		state:        make(map[Key]*pktState),
 		lsQueue:      make(map[Address][]lsPending),
 		retryTimers:  make(map[*pending]*sim.Event),
@@ -596,7 +610,12 @@ func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
 			r.drop(p, f.From, trace.ReasonDuplicate, trace.KindNone)
 			return
 		}
-		if r.cfg.DuplicateRule.CancelsContention(st.cbfFirstRHL, p.Basic.RHL) {
+		st.cbfDups++
+		cancels := r.cfg.DuplicateRule == nil || r.cfg.DuplicateRule.CancelsContention(st.cbfFirstRHL, p.Basic.RHL)
+		if cancels {
+			cancels = r.contention.CancelOnDuplicate(r, st.cbfFirstRHL, p.Basic.RHL, st.cbfDups)
+		}
+		if cancels {
 			// Someone else re-broadcast first: discard the buffered packet
 			// (vulnerability: no check of WHO that someone is).
 			st.cbfResolved = true
@@ -630,7 +649,7 @@ func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
 		return
 	}
 	st.cbfSendRHL = p.Basic.RHL - 1
-	to := r.contentionTimeout(f)
+	to := r.contention.Timeout(r, p, Address(f.From))
 	buffered := p.Fork()
 	r.stats.CBFBuffered++
 	r.emit(trace.EvCBFArm, trace.KindArm, trace.ReasonNone, p, f.From)
@@ -653,25 +672,7 @@ func (r *Router) contend(p *Packet, f radio.Frame, st *pktState) {
 	})
 }
 
-// contentionTimeout computes TO from the distance to the previous sender.
-// The sender position comes from the location table entry for the
-// link-layer sender, as in the standard; an unknown sender yields TO_MAX.
-func (r *Router) contentionTimeout(f radio.Frame) time.Duration {
-	now := r.cfg.Engine.Now()
-	entry := r.loct.Lookup(Address(f.From), now)
-	if entry == nil {
-		return r.cfg.TOMax
-	}
-	dist := r.cfg.Position().DistanceTo(entry.PV.Pos)
-	if dist > r.cfg.Range {
-		return r.cfg.TOMin
-	}
-	span := float64(r.cfg.TOMax - r.cfg.TOMin)
-	to := float64(r.cfg.TOMax) - span*dist/r.cfg.Range
-	return time.Duration(to)
-}
-
-// forwardGreedy runs the GF next-hop selection for p toward target. With
+// forwardGreedy runs the next-hop selection for p toward target. With
 // no eligible neighbor the packet enters the store-carry-forward buffer.
 func (r *Router) forwardGreedy(p *Packet, target geo.Point, st *pktState) {
 	if r.trySendGreedy(p, target, st, trace.KindGF) {
@@ -680,41 +681,24 @@ func (r *Router) forwardGreedy(p *Packet, target geo.Point, st *pktState) {
 	r.buffer(p, target, st)
 }
 
-// trySendGreedy attempts one GF transmission; it reports success. kind
-// distinguishes receive-time forwarding from buffer-retry forwarding in
-// the trace.
+// trySendGreedy attempts one strategy-selected transmission; it reports
+// success. kind distinguishes receive-time forwarding from buffer-retry
+// forwarding in the trace; a first-reception hop made in perimeter mode
+// (a recovery strategy rewrote p.Ext) is recorded as KindPerimeter.
 func (r *Router) trySendGreedy(p *Packet, target geo.Point, st *pktState, kind trace.Kind) bool {
-	now := r.cfg.Engine.Now()
-	self := r.cfg.Position()
-	myDist := self.DistanceTo(target)
-	best := r.loct.Closest(target, now, func(e *LocTEntry, estPos geo.Point) bool {
-		if !e.NeighborAt(now) {
-			// GF only considers entries with live IS_NEIGHBOUR status.
-			return false
-		}
-		if e.Addr == p.SourcePV.Addr {
-			// Never route a packet back to its source.
-			return false
-		}
-		if e.Addr == st.prevHop {
-			// Split horizon: not straight back to who handed it to us.
-			return false
-		}
-		if estPos.DistanceTo(target) >= myDist {
-			return false
-		}
-		if !r.cfg.ForwardFilter.Accept(self, estPos, e) {
-			r.stats.GFFiltered++
-			return false
-		}
-		return true
-	})
-	if best == nil {
+	next, ok := r.nextHop.NextHop(r, p, target, st.prevHop)
+	if !ok {
 		return false
 	}
+	if p.Ext.Mode == ExtModePerimeter {
+		r.stats.GFPerimeter++
+		if kind == trace.KindGF {
+			kind = trace.KindPerimeter
+		}
+	}
 	r.stats.GFForwarded++
-	r.send(radio.NodeID(best.Addr), p)
-	r.emit(trace.EvTX, kind, trace.ReasonNone, p, radio.NodeID(best.Addr))
+	r.send(radio.NodeID(next), p)
+	r.emit(trace.EvTX, kind, trace.ReasonNone, p, radio.NodeID(next))
 	return true
 }
 

@@ -289,19 +289,19 @@ func TestCBFContentionTimeoutFormula(t *testing.T) {
 	r := w.addNode(1, geo.Pt(0, 0), 500, nil)
 	// Sender known in LocT at 250 m: TO = TOMax - (TOMax-TOMin)*250/500.
 	r.LocT().Update(PositionVector{Addr: 2, Timestamp: 1, Pos: geo.Pt(250, 0)}, 0, true)
-	f := radio.Frame{From: 2}
-	got := r.contentionTimeout(f)
+	pol := NewStandardCBF()
+	got := pol.Timeout(r, nil, 2)
 	want := 50*time.Millisecond + 500*time.Microsecond
 	if got != want {
 		t.Fatalf("TO at 250/500 m = %v, want %v", got, want)
 	}
 	// Unknown sender: TO_MAX.
-	if got := r.contentionTimeout(radio.Frame{From: 99}); got != DefaultTOMax {
+	if got := pol.Timeout(r, nil, 99); got != DefaultTOMax {
 		t.Fatalf("TO for unknown sender = %v, want TOMax", got)
 	}
 	// Beyond DIST_MAX: TO_MIN.
 	r.LocT().Update(PositionVector{Addr: 3, Timestamp: 1, Pos: geo.Pt(900, 0)}, 0, true)
-	if got := r.contentionTimeout(radio.Frame{From: 3}); got != DefaultTOMin {
+	if got := pol.Timeout(r, nil, 3); got != DefaultTOMin {
 		t.Fatalf("TO beyond DIST_MAX = %v, want TOMin", got)
 	}
 }

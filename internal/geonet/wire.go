@@ -128,6 +128,44 @@ type Packet struct {
 	// Cert and Signature authenticate the protected region.
 	Cert      security.Certificate
 	Signature []byte
+
+	// Ext is the unsigned routing-extension trailer. Like the basic
+	// header it is rewritten hop by hop (recovery strategies store their
+	// per-packet mode here), so it cannot be covered by the source
+	// signature — the same integrity gap the RHL lives in. A zero Ext
+	// (greedy mode) is not encoded at all, keeping default-strategy
+	// frames byte-identical to the pre-arena wire format.
+	Ext PacketExt
+}
+
+// ExtMode enumerates the routing-extension forwarding modes.
+type ExtMode uint8
+
+// Routing-extension modes.
+const (
+	// ExtModeNone is plain greedy forwarding (the zero value; never
+	// encoded on the wire).
+	ExtModeNone ExtMode = iota
+	// ExtModePerimeter marks a packet in GPSR perimeter-mode recovery.
+	ExtModePerimeter
+)
+
+// PacketExt is the per-packet routing state carried in the unsigned
+// trailer. All fields are scalars so Fork's shallow copy stays correct.
+type PacketExt struct {
+	// Mode selects the forwarding mode.
+	Mode ExtMode
+	// Lp is the position where the packet entered perimeter mode; a node
+	// strictly closer to the destination than Lp returns to greedy.
+	Lp geo.Point
+	// LfDist is the distance from the current face's entry point to the
+	// destination — crossings of the Lp→destination line strictly closer
+	// than it move the walk to the next face.
+	LfDist float64
+	// E0From and E0To name the first edge walked on the current face;
+	// revisiting it means the face was fully traversed without progress.
+	E0From Address
+	E0To   Address
 }
 
 // Key identifies a packet end-to-end for duplicate detection.
@@ -147,6 +185,7 @@ var (
 	ErrBadVersion  = errors.New("geonet: unsupported protocol version")
 	ErrBadType     = errors.New("geonet: unknown packet type")
 	ErrBadAreaKind = errors.New("geonet: unknown area kind")
+	ErrBadExt      = errors.New("geonet: malformed routing-extension trailer")
 )
 
 // protocolVersion is the GeoNetworking version emitted in basic headers.
@@ -339,7 +378,51 @@ func (p *Packet) AppendMarshal(dst []byte) []byte {
 	dst = p.appendProtected(dst)
 	// Envelope.
 	dst = security.AppendEnvelope(dst, p.Cert, p.Signature)
+	// Routing-extension trailer (unsigned), only when a recovery mode is
+	// active: greedy frames stay byte-identical to the pre-arena format.
+	if p.Ext.Mode != ExtModeNone {
+		dst = p.appendExt(dst)
+	}
 	return dst
+}
+
+// extMagic introduces the routing-extension trailer on the wire.
+const extMagic = 0x50 // 'P'
+
+// extWireLen is the encoded trailer size.
+const extWireLen = 1 + 1 + 8 + 4 + 8 + 8
+
+func (p *Packet) appendExt(dst []byte) []byte {
+	dst = append(dst, extMagic, uint8(p.Ext.Mode))
+	dst = appendPoint(dst, p.Ext.Lp)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(cm(p.Ext.LfDist)))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.Ext.E0From))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(p.Ext.E0To))
+	return dst
+}
+
+// decodeExt parses the routing-extension trailer from the bytes after
+// the envelope. No trailer (len 0) leaves the zero Ext.
+func (p *Packet) decodeExt(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	if len(b) != extWireLen || b[0] != extMagic {
+		return ErrBadExt
+	}
+	p.Ext.Mode = ExtMode(b[1])
+	if p.Ext.Mode == ExtModeNone || p.Ext.Mode > ExtModePerimeter {
+		return ErrBadExt
+	}
+	lp, err := decodePoint(b[2:])
+	if err != nil {
+		return err
+	}
+	p.Ext.Lp = lp
+	p.Ext.LfDist = meters(int32(binary.BigEndian.Uint32(b[10:])))
+	p.Ext.E0From = Address(binary.BigEndian.Uint64(b[14:]))
+	p.Ext.E0To = Address(binary.BigEndian.Uint64(b[22:]))
+	return nil
 }
 
 // Marshal encodes the packet for transmission into a fresh buffer.
@@ -430,12 +513,15 @@ func unmarshalWire(b []byte) (p *Packet, protEnd int, err error) {
 	b = b[2+plen:]
 	protEnd = len(wire) - len(b)
 
-	cert, sig, _, err := security.DecodeEnvelope(b)
+	cert, sig, n, err := security.DecodeEnvelope(b)
 	if err != nil {
 		return nil, 0, err
 	}
 	p.Cert = cert
 	p.Signature = sig
+	if err := p.decodeExt(b[n:]); err != nil {
+		return nil, 0, err
+	}
 	return p, protEnd, nil
 }
 

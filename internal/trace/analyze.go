@@ -73,7 +73,7 @@ func frameLevel(r Reason) bool {
 // triggered it (as opposed to resolving a buffer or an armed contention).
 func immediateTX(k Kind) bool {
 	switch k {
-	case KindGF, KindSHB, KindTSB, KindFlood, KindCBFSource, KindCBFEntry, KindBeacon:
+	case KindGF, KindPerimeter, KindSHB, KindTSB, KindFlood, KindCBFSource, KindCBFEntry, KindBeacon:
 		return true
 	}
 	return false

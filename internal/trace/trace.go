@@ -100,6 +100,9 @@ const (
 	KindBuffer
 	// KindArm marks a drop (or cancel) of an armed CBF contention.
 	KindArm
+	// KindPerimeter is a unicast TX decided in perimeter-mode recovery
+	// (GPSR right-hand-rule forwarding) at receive time.
+	KindPerimeter
 
 	numKinds
 )
@@ -117,6 +120,7 @@ var kindNames = [numKinds]string{
 	KindFlood:     "flood",
 	KindBuffer:    "buffer",
 	KindArm:       "arm",
+	KindPerimeter: "perimeter",
 }
 
 // String returns the wire name of the kind ("" for KindNone).

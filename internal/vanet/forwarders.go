@@ -1,0 +1,5 @@
+package vanet
+
+// Every world links the forwarder arena so Config.Forwarder can name
+// any registered strategy, not just the geonet default.
+import _ "github.com/vanetsec/georoute/internal/forward"

@@ -77,8 +77,11 @@ type Config struct {
 	NeighborLifetime time.Duration
 	MaxHopLimit      uint8
 	PacketLifetime   time.Duration
-	ForwardFilter    geonet.ForwardFilter
-	DuplicateRule    geonet.DuplicateRule
+	// Forwarder selects the forwarding strategy by registry name for
+	// every router in the world ("" = the standard GF+CBF pair).
+	Forwarder     string
+	ForwardFilter geonet.ForwardFilter
+	DuplicateRule geonet.DuplicateRule
 
 	// Obstructions are passed to the radio medium.
 	Obstructions []radio.Obstruction
@@ -269,6 +272,7 @@ func (w *World) attachVehicle(v *traffic.Vehicle) {
 		NeighborLifetime: w.cfg.NeighborLifetime,
 		MaxHopLimit:      w.cfg.MaxHopLimit,
 		PacketLifetime:   w.cfg.PacketLifetime,
+		Forwarder:        w.cfg.Forwarder,
 		ForwardFilter:    w.cfg.ForwardFilter,
 		DuplicateRule:    w.cfg.DuplicateRule,
 		Tracer:           w.cfg.Tracer,
@@ -315,6 +319,7 @@ func (w *World) AddStatic(addr geonet.Address, pos geo.Point, rangeM float64) *g
 		NeighborLifetime: w.cfg.NeighborLifetime,
 		MaxHopLimit:      w.cfg.MaxHopLimit,
 		PacketLifetime:   w.cfg.PacketLifetime,
+		Forwarder:        w.cfg.Forwarder,
 		ForwardFilter:    w.cfg.ForwardFilter,
 		DuplicateRule:    w.cfg.DuplicateRule,
 		Tracer:           w.cfg.Tracer,
