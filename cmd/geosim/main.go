@@ -25,6 +25,12 @@
 // directory. geotrace -validate checks any such file for schema and
 // conservation violations.
 //
+// Campaign mode additionally accepts -detect, which arms the per-node
+// misbehavior plausibility monitors (internal/detect) in every figure
+// cell and makes finalize write results/<name>/detection.json — per-arm
+// detection latency, recall, and per-check precision. Detection is pure
+// observation: every other artifact is byte-identical with it on or off.
+//
 // Both modes also accept -listen <addr>, which serves live telemetry over
 // HTTP while the run executes — Prometheus text exposition on /metrics,
 // a JSON snapshot on /telemetry.json, and the standard pprof profiles
@@ -83,6 +89,7 @@ func main() {
 		maxCells = flag.Int("max-cells", 0, "stop the campaign after N fresh cells (testing/CI)")
 		workers  = flag.Int("workers", 0, "campaign worker pool size (default: CPUs-1)")
 		traceDir = flag.String("trace", "", "write per-cell packet-lifecycle traces (JSONL + counter rollup) into this directory")
+		detectOn = flag.Bool("detect", false, "campaign mode: run the misbehavior plausibility monitors in every cell and write results/<name>/detection.json (pure observation; other artifacts are byte-identical)")
 		listen   = flag.String("listen", "", "serve live telemetry on this address while running: /metrics (Prometheus), /telemetry.json, /debug/pprof/")
 		progress = flag.Bool("progress", false, "print a periodic progress heartbeat to stderr")
 
@@ -126,7 +133,7 @@ func main() {
 		os.Exit(runDrain(*to))
 	}
 	if *campPath != "" {
-		os.Exit(runCampaign(*campPath, *results, *resume, *maxCells, *workers, *traceDir, *listen, *progress))
+		os.Exit(runCampaign(*campPath, *results, *resume, *maxCells, *workers, *traceDir, *listen, *progress, *detectOn))
 	}
 	if *expID == "" {
 		fmt.Fprintln(os.Stderr, "geosim: pass -experiment <id>, -campaign <spec> or -list")
@@ -312,7 +319,7 @@ func printList() {
 
 // runCampaign executes a campaign spec and reports progress on stderr.
 // Exit codes: 0 complete, 1 error, 3 interrupted (resume with -resume).
-func runCampaign(specPath, resultsDir string, resume bool, maxCells, workers int, traceDir, listen string, progress bool) int {
+func runCampaign(specPath, resultsDir string, resume bool, maxCells, workers int, traceDir, listen string, progress, detectOn bool) int {
 	sp, err := georoute.LoadCampaignSpec(specPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "geosim: %v\n", err)
@@ -386,6 +393,7 @@ func runCampaign(specPath, resultsDir string, resume bool, maxCells, workers int
 		Workers:    workers,
 		TraceDir:   traceDir,
 		Telemetry:  reg,
+		Detect:     detectOn,
 		Progress: func(done, total, replayed int, key string) {
 			doneCells.Store(int64(done))
 			totalCells.Store(int64(total))

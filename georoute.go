@@ -38,6 +38,7 @@ import (
 
 	"github.com/vanetsec/georoute/internal/attack"
 	"github.com/vanetsec/georoute/internal/campaign"
+	"github.com/vanetsec/georoute/internal/detect"
 	"github.com/vanetsec/georoute/internal/experiment"
 	"github.com/vanetsec/georoute/internal/fabric"
 	"github.com/vanetsec/georoute/internal/geo"
@@ -385,13 +386,85 @@ func WriteTelemetryDebugDump(dir string, r *TelemetryRegistry) (stackPath, snapP
 // exposition (as served on /metrics) for well-formedness.
 func ValidateMetricsExposition(r io.Reader) error { return telemetry.ValidateExposition(r) }
 
+// TelemetryHistogram is a fixed-bucket distribution metric exposed as
+// Prometheus histogram series (_bucket/_sum/_count); a nil handle makes
+// Observe a no-op. Register one via TelemetryRegistry.Histogram.
+type TelemetryHistogram = telemetry.Histogram
+
+// HistogramLogBuckets builds n exponentially spaced upper bounds for
+// TelemetryRegistry.Histogram (start, start*factor, ...).
+func HistogramLogBuckets(start, factor float64, n int) []float64 {
+	return telemetry.LogBuckets(start, factor, n)
+}
+
 // Observe bundles the optional per-run observers (lifecycle tracer,
-// telemetry gauges).
+// telemetry gauges, misbehavior-detection monitors).
 type Observe = experiment.Observe
 
 // RunOnceObserved is RunOnce with observers threaded through the stack.
 func RunOnceObserved(s Scenario, seed uint64, obs Observe) experiment.RunResult {
 	return experiment.RunOnceObserved(s, seed, obs)
+}
+
+// Misbehavior detection --------------------------------------------------
+//
+// The detection layer (internal/detect) runs per-node plausibility
+// monitors on the router's receive path as pure observers — beacon
+// inter-arrival, position plausibility, replay recency, LocT churn —
+// and aggregates their verdicts per run. Like tracing and telemetry, a
+// nil Detector disables everything at zero cost and simulated outcomes
+// are byte-identical with detection on or off. Campaigns run with
+// CampaignOptions.Detect fold run summaries into detection.json.
+
+// Detector aggregates misbehavior verdicts for one run and hands out
+// per-node monitors (nil = disabled).
+type Detector = detect.Detector
+
+// DetectorConfig tunes detection thresholds, ground-truth labeling, and
+// the optional verdict sink and histograms.
+type DetectorConfig = detect.Config
+
+// DetectMonitor is one node's plausibility monitor.
+type DetectMonitor = detect.Monitor
+
+// DetectCheck identifies one plausibility-monitor class.
+type DetectCheck = detect.Check
+
+// Plausibility-monitor classes.
+const (
+	DetectCheckBeacon   = detect.CheckBeacon
+	DetectCheckPosition = detect.CheckPosition
+	DetectCheckReplay   = detect.CheckReplay
+	DetectCheckChurn    = detect.CheckChurn
+)
+
+// DetectVerdict is one detection event (node accuses suspect, with
+// evidence).
+type DetectVerdict = detect.Verdict
+
+// DetectSummary is one run's aggregate detection outcome.
+type DetectSummary = detect.Summary
+
+// DetectArmSummary is the per-arm detection report folded into
+// detection.json (recall, mean latency, per-check precision).
+type DetectArmSummary = detect.ArmSummary
+
+// DetectionArtifact is results/<campaign>/detection.json.
+type DetectionArtifact = campaign.DetectionArtifact
+
+// AttackerPseudonym is the default link-layer identity the attacker
+// replays under — the ground-truth label detection compares suspects
+// against.
+const AttackerPseudonym = attack.DefaultPseudonym
+
+// NewDetector builds a run-scoped detector with defaults applied.
+func NewDetector(cfg DetectorConfig) *Detector { return detect.New(cfg) }
+
+// ReplayDetect runs the offline detector over a recorded lifecycle trace
+// (geotrace -detect): the same plausibility checks the online monitors
+// run, reconstructed from RX and drop records.
+func ReplayDetect(recs []TraceRecord, cfg DetectorConfig) *Detector {
+	return detect.Replay(recs, cfg)
 }
 
 // Campaigns ------------------------------------------------------------------

@@ -70,6 +70,11 @@ func (t Type) String() string {
 // re-broadcasting).
 const DefaultProcessingDelay = 300 * time.Microsecond
 
+// DefaultPseudonym is the link-layer identity used for replays when
+// Config.Pseudonym is zero. Detection ground-truth labeling compares
+// verdict suspects against it.
+const DefaultPseudonym radio.NodeID = 0xA77AC4E2
+
 // Stats counts attacker activity.
 type Stats struct {
 	BeaconsCaptured uint64
@@ -146,7 +151,7 @@ func NewAttacker(cfg Config) *Attacker {
 		panic("attack: Engine and Medium are required")
 	}
 	if cfg.Pseudonym == 0 {
-		cfg.Pseudonym = 0xA77AC4E2 // arbitrary non-colliding default
+		cfg.Pseudonym = DefaultPseudonym // arbitrary non-colliding default
 	}
 	if cfg.ProcessingDelay == 0 {
 		cfg.ProcessingDelay = DefaultProcessingDelay

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/vanetsec/georoute/internal/attack"
+	"github.com/vanetsec/georoute/internal/detect"
 	"github.com/vanetsec/georoute/internal/experiment"
 	"github.com/vanetsec/georoute/internal/geonet"
 	"github.com/vanetsec/georoute/internal/metrics"
@@ -36,6 +37,9 @@ type Aggregator struct {
 	// trajectory (see CellResources). Keyed by cell key; cells journaled
 	// without measurements are simply absent.
 	resources map[string]CellResources
+	// sawDetection records whether any fed run carried a detection
+	// summary; only then does Finalize emit detection.json.
+	sawDetection bool
 }
 
 // armAgg streams one arm: Welford over per-run overall rates, plus the
@@ -52,6 +56,7 @@ type armAgg struct {
 	overall  metrics.Stream
 	latSum   float64
 	latCount uint64
+	det      detect.Fold
 }
 
 // pairAgg streams the seed-paired drop rate of one pair. It holds each
@@ -154,6 +159,9 @@ func (a *Aggregator) Feed(c Cell, res CellResult) error {
 	if res.Run == nil {
 		return fmt.Errorf("campaign: cell %s has no run result", key)
 	}
+	if res.Run.Detection != nil {
+		a.sawDetection = true
+	}
 	fig, ok := a.figs[c.Figure]
 	if !ok {
 		return fmt.Errorf("campaign: cell %s references unknown figure", key)
@@ -206,6 +214,9 @@ func (g *armAgg) feed(idx int, r *experiment.RunResult) {
 		// Seed-order float fold, matching experiment.mergeRuns exactly.
 		g.latSum += r.LatencySumSeconds
 		g.latCount += r.LatencyCount
+		// Detection folds in the same seed order, so resumed campaigns
+		// reproduce detection.json byte for byte too.
+		g.det.Add(r.Detection)
 	}
 }
 
@@ -267,15 +278,15 @@ func (a *Aggregator) missing() []string {
 func (a *Aggregator) figureResult(id string) experiment.FigureResult {
 	fig := a.figs[id]
 	res := experiment.FigureResult{
-		Figure:     fig,
-		Runs:       a.spec.Runs,
-		Rates:      make(map[string][]float64),
-		Overall:    make(map[string]float64),
-		ArmSpread:  make(map[string]metrics.Spread),
-		Packets:    make(map[string]int),
-		Attacker:   make(map[string]attack.Stats),
-		Drops:      make(map[string]float64),
-		DropSpread: make(map[string]metrics.Spread),
+		Figure:      fig,
+		Runs:        a.spec.Runs,
+		Rates:       make(map[string][]float64),
+		Overall:     make(map[string]float64),
+		ArmSpread:   make(map[string]metrics.Spread),
+		Packets:     make(map[string]int),
+		Attacker:    make(map[string]attack.Stats),
+		Drops:       make(map[string]float64),
+		DropSpread:  make(map[string]metrics.Spread),
 		AccumDrops:  make(map[string][]float64),
 		Protocol:    make(map[string]geonet.Stats),
 		LatencyMean: make(map[string]float64),
@@ -428,6 +439,14 @@ func (a *Aggregator) Finalize(dir string) error {
 			return err
 		}
 		if err := writeArtifact(dir, "resources", art); err != nil {
+			return err
+		}
+	}
+	// Detection results likewise sit outside the byte-identity set: the
+	// same campaign finalizes the same summary.json and figure artifacts
+	// whether or not the plausibility monitors were armed.
+	if a.sawDetection {
+		if err := writeArtifact(dir, "detection", a.detectionArtifact()); err != nil {
 			return err
 		}
 	}

@@ -292,16 +292,16 @@ func TestParseCellKey(t *testing.T) {
 		}
 	}
 	for _, bad := range []string{
-		"",                  // empty
-		"fig7a",             // no arm or seed
-		"fig7a/af_mN",       // no seed
-		"fig7a/af_mN/1/2",   // too many parts
-		"fig7a/af_mN/x",     // non-numeric seed
-		"fig7a/af_mN/-1",    // negative seed
-		"/af_mN/1",          // empty figure
-		"fig7a//1",          // empty arm
-		"fig7a/af_mN/1.5",   // fractional seed
-		"fig7a/af_mN/ 1",    // padded seed
+		"",                                 // empty
+		"fig7a",                            // no arm or seed
+		"fig7a/af_mN",                      // no seed
+		"fig7a/af_mN/1/2",                  // too many parts
+		"fig7a/af_mN/x",                    // non-numeric seed
+		"fig7a/af_mN/-1",                   // negative seed
+		"/af_mN/1",                         // empty figure
+		"fig7a//1",                         // empty arm
+		"fig7a/af_mN/1.5",                  // fractional seed
+		"fig7a/af_mN/ 1",                   // padded seed
 		"fig7a/af_mN/99999999999999999999", // seed overflows uint64
 	} {
 		if _, err := ParseCellKey(bad); err == nil {

@@ -1,0 +1,41 @@
+package campaign
+
+import "github.com/vanetsec/georoute/internal/detect"
+
+// DetectionArtifact is results/<campaign>/detection.json: the per-figure,
+// per-arm misbehavior-detection report of a campaign run with Options.
+// Detect. For every arm it carries the run count, how many runs detected
+// the attack (recall), the mean sim-time latency of the first true
+// verdict, and per-check true/false-positive tallies with derived
+// precision. Attack-free arms document the false-alarm budget: at default
+// thresholds their verdict counts are zero.
+//
+// Like resources.json, this artifact is NOT listed in summary.json's
+// figure index — the byte-identical artifact set is unchanged by running
+// detection — but unlike resources.json it contains no wall-clock state,
+// so re-finalizing the same journal reproduces it byte for byte.
+type DetectionArtifact struct {
+	Campaign string                                  `json:"campaign"`
+	Runs     int                                     `json:"runs"`
+	Figures  map[string]map[string]detect.ArmSummary `json:"figures"`
+}
+
+// detectionArtifact assembles per-arm detection summaries in canonical
+// figure/arm order (maps serialize key-sorted, and each fold already saw
+// its runs in seed order).
+func (a *Aggregator) detectionArtifact() DetectionArtifact {
+	art := DetectionArtifact{
+		Campaign: a.spec.Name,
+		Runs:     a.spec.Runs,
+		Figures:  make(map[string]map[string]detect.ArmSummary, len(a.figIDs)),
+	}
+	for _, id := range a.figIDs {
+		fig := a.figs[id]
+		arms := make(map[string]detect.ArmSummary, len(fig.Arms))
+		for _, arm := range fig.Arms {
+			arms[arm.Label] = a.arms[id+"/"+arm.Label].det.Result()
+		}
+		art.Figures[id] = arms
+	}
+	return art
+}

@@ -50,6 +50,13 @@ type Options struct {
 	// events/sec, CBF occupancy, ...) for /metrics scraping. Telemetry is
 	// pure observation: artifacts are byte-identical with it on or off.
 	Telemetry *telemetry.Registry
+	// Detect runs the misbehavior plausibility monitors in every figure
+	// cell and makes Finalize write results/<name>/detection.json — the
+	// per-arm detection-latency and precision/recall report. Like tracing
+	// and telemetry, detection is pure observation: every other artifact
+	// stays byte-identical with it on or off, which is why detection.json
+	// (like resources.json) is not listed in summary.json's figure index.
+	Detect bool
 }
 
 // Info summarizes a finished (or interrupted) campaign run.
@@ -184,7 +191,7 @@ func runPool(ctx context.Context, sp Spec, dispatch []Cell, opts Options, j *Jou
 			defer wg.Done()
 			gauges := telemetry.NewRunGauges(opts.Telemetry, worker)
 			for c := range jobs {
-				res, err := runCell(figs, c, opts.TraceDir, gauges)
+				res, err := runCell(figs, c, opts.TraceDir, opts.Detect, gauges)
 				results <- completion{cell: c, res: res, err: err}
 			}
 		}(w)
@@ -257,14 +264,17 @@ func runPool(ctx context.Context, sp Spec, dispatch []Cell, opts Options, j *Jou
 // same cell would have recorded (modulo the wall-clock resource fields,
 // which are outside the byte-identity guarantee by design).
 func ExecuteCell(c Cell, gauges *telemetry.RunGauges) (CellResult, error) {
-	return runCell(experiment.Figures(), c, "", gauges)
+	return runCell(experiment.Figures(), c, "", false, gauges)
 }
 
 // runCell executes one cell of any kind under per-cell resource
 // accounting. When traceDir is non-empty, figure cells run with a
 // per-cell file tracer writing a JSONL stream and counter rollup named
-// after the cell key; gauges (nil-safe) feed the live telemetry registry.
-func runCell(figs map[string]experiment.Figure, c Cell, traceDir string, gauges *telemetry.RunGauges) (CellResult, error) {
+// after the cell key; detectOn arms the plausibility monitors; gauges
+// (nil-safe) feed the live telemetry registry. Showcase cells (hazard,
+// curve) have no router receive path to monitor, so detection does not
+// apply to them.
+func runCell(figs map[string]experiment.Figure, c Cell, traceDir string, detectOn bool, gauges *telemetry.RunGauges) (CellResult, error) {
 	return measureCell(func() (CellResult, error) {
 		switch c.Figure {
 		case hazardGFID, hazardCBFID:
@@ -293,7 +303,7 @@ func runCell(figs map[string]experiment.Figure, c Cell, traceDir string, gauges 
 		}
 		rr, err := fig.RunCellObserved(
 			experiment.Cell{Figure: c.Figure, Arm: c.Arm, Seed: c.Seed},
-			experiment.Observe{Tracer: ft.Tracer(), Gauges: gauges},
+			experiment.Observe{Tracer: ft.Tracer(), Gauges: gauges, Detect: detectOn},
 		)
 		if ft != nil {
 			if cerr := ft.Close(); cerr != nil && err == nil {

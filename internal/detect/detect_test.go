@@ -1,0 +1,271 @@
+package detect
+
+import (
+	"testing"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/geo"
+	"github.com/vanetsec/georoute/internal/trace"
+)
+
+const attacker = 99
+
+func newTestMonitor() (*Detector, *Monitor) {
+	d := New(Config{Truth: func(s uint64) bool { return s == attacker }})
+	return d, d.NewMonitor(1)
+}
+
+// claim builds a plausible single-hop claim: source co-located with the
+// receiver, PV stamped at arrival.
+func claim(at time.Duration, from uint64) Claim {
+	return Claim{
+		Now: at, From: from, Src: 7,
+		Pos: geo.Pt(100, 0), TS: at,
+		RxPos: geo.Pt(0, 0), RxRange: 500, Single: true,
+	}
+}
+
+func checkCount(d *Detector, c Check) uint64 {
+	s := d.Summary()
+	cs := s.Checks[c.String()]
+	return cs.TruePositives + cs.FalsePositives
+}
+
+func TestMonitorBeaconGapThreshold(t *testing.T) {
+	d, m := newTestMonitor()
+	m.ObserveClaim(claim(0, attacker))
+	m.ObserveClaim(claim(2250*time.Millisecond, attacker)) // benign minimum gap
+	if got := checkCount(d, CheckBeacon); got != 0 {
+		t.Fatalf("benign 2.25s gap flagged %d times", got)
+	}
+	m.ObserveClaim(claim(3150*time.Millisecond, attacker)) // 900ms gap, below 1s floor
+	if got := checkCount(d, CheckBeacon); got != 1 {
+		t.Fatalf("sub-floor gap flagged %d times, want 1", got)
+	}
+	if !d.Summary().Detected {
+		t.Error("labeled suspect did not mark the run detected")
+	}
+}
+
+func TestMonitorRangeThreshold(t *testing.T) {
+	d, m := newTestMonitor()
+	c := claim(0, attacker)
+	c.Pos = geo.Pt(799, 0) // within 1.6 x 500m
+	m.ObserveClaim(c)
+	if got := checkCount(d, CheckPosition); got != 0 {
+		t.Fatalf("in-envelope neighbor claim flagged %d times", got)
+	}
+	c = claim(time.Hour, attacker)
+	c.Pos = geo.Pt(801, 0) // beyond 1.6 x 500m
+	m.ObserveClaim(c)
+	if got := checkCount(d, CheckPosition); got != 1 {
+		t.Fatalf("out-of-range neighbor claim flagged %d times, want 1", got)
+	}
+}
+
+func TestMonitorStaleTimestampThreshold(t *testing.T) {
+	d, m := newTestMonitor()
+	m.ObserveClaim(claim(0, 7))
+	c := claim(1500*time.Millisecond, attacker)
+	c.TS = 0 // replayed PV: timestamp not newer than the last one
+	m.ObserveClaim(c)
+	if got := checkCount(d, CheckReplay); got != 1 {
+		t.Fatalf("stale-timestamp claim flagged %d times, want 1", got)
+	}
+	// A strictly newer PV from the same source is fine.
+	m.ObserveClaim(claim(3200*time.Millisecond, 7))
+	if got := checkCount(d, CheckReplay); got != 1 {
+		t.Fatalf("fresh claim changed replay count to %d", got)
+	}
+}
+
+func TestMonitorImpliedSpeedThreshold(t *testing.T) {
+	d, m := newTestMonitor()
+	base := Claim{Now: 0, From: 7, Src: 7, Pos: geo.Pt(0, 0), TS: 0, RxPos: geo.Pt(0, 0), RxRange: 500}
+	m.ObserveClaim(base)
+	// 74m in 1s: 70 m/s ceiling + 5m PosError allowance absorbs it.
+	ok := base
+	ok.Now, ok.TS, ok.Pos = time.Second, time.Second, geo.Pt(74, 0)
+	m.ObserveClaim(ok)
+	if got := checkCount(d, CheckPosition); got != 0 {
+		t.Fatalf("claim inside the speed envelope flagged %d times", got)
+	}
+	// 150m in a further second exceeds 70 m/s + 5m.
+	bad := base
+	bad.From = attacker
+	bad.Now, bad.TS, bad.Pos = 2*time.Second, 2*time.Second, geo.Pt(224, 0)
+	m.ObserveClaim(bad)
+	if got := checkCount(d, CheckPosition); got != 1 {
+		t.Fatalf("teleporting claim flagged %d times, want 1", got)
+	}
+}
+
+func TestMonitorSpeedAllowsQuantizedSampling(t *testing.T) {
+	// Two claims 10ms apart showing one mobility tick's displacement
+	// (~1.5m): enormous implied speed, but within the PosError allowance.
+	// This is the fig9a benign pattern that must never flag.
+	d, m := newTestMonitor()
+	base := Claim{Now: 0, From: 7, Src: 7, Pos: geo.Pt(3144.4, 2.5), TS: 0, RxPos: geo.Pt(3000, 2.5), RxRange: 500}
+	m.ObserveClaim(base)
+	next := base
+	next.Now, next.TS, next.Pos = 10*time.Millisecond, 10*time.Millisecond, geo.Pt(3145.9, 2.5)
+	m.ObserveClaim(next)
+	if got := d.Summary().Verdicts; got != 0 {
+		t.Fatalf("quantized position sampling produced %d verdicts", got)
+	}
+}
+
+func TestMonitorChurnThreshold(t *testing.T) {
+	d, m := newTestMonitor()
+	// Two claims in the 4s window is the honest maximum; the third flags.
+	for i, at := range []time.Duration{0, 1200 * time.Millisecond, 2400 * time.Millisecond} {
+		c := claim(at, attacker)
+		m.ObserveClaim(c)
+		got := checkCount(d, CheckChurn)
+		if i < 2 && got != 0 {
+			t.Fatalf("claim %d flagged churn early (%d)", i, got)
+		}
+		if i == 2 && got != 1 {
+			t.Fatalf("third claim in window flagged churn %d times, want 1", got)
+		}
+	}
+	// Once the window slides past the oldest arrivals, cadence resets.
+	d2, m2 := newTestMonitor()
+	for _, at := range []time.Duration{0, 2250 * time.Millisecond, 4500 * time.Millisecond, 6750 * time.Millisecond} {
+		m2.ObserveClaim(claim(at, 7))
+	}
+	if got := checkCount(d2, CheckChurn); got != 0 {
+		t.Fatalf("benign 2.25s beacon cadence flagged churn %d times", got)
+	}
+}
+
+func TestMonitorEchoThresholds(t *testing.T) {
+	d, m := newTestMonitor()
+	// Own beacon echoed: always a verdict regardless of timing.
+	m.ObserveEcho(Echo{Now: time.Second, From: attacker, Beacon: true, Elapsed: time.Hour, Hops: 0})
+	if got := checkCount(d, CheckReplay); got != 1 {
+		t.Fatalf("own-beacon echo flagged %d times, want 1", got)
+	}
+	// Data packet back after 2 plausible hops: >= 2 x 500µs elapsed.
+	m.ObserveEcho(Echo{Now: 2 * time.Second, From: 7, Beacon: false, Elapsed: 1100 * time.Microsecond, Hops: 2})
+	if got := checkCount(d, CheckReplay); got != 1 {
+		t.Fatalf("plausible 2-hop echo flagged (count %d)", got)
+	}
+	// Same hop count squeezed under the per-hop floor: replay.
+	m.ObserveEcho(Echo{Now: 3 * time.Second, From: attacker, Beacon: false, Elapsed: 900 * time.Microsecond, Hops: 2})
+	if got := checkCount(d, CheckReplay); got != 2 {
+		t.Fatalf("implausible 2-hop echo flagged %d times, want 2", got)
+	}
+	// Zero consumed hops carries no timing evidence.
+	m.ObserveEcho(Echo{Now: 4 * time.Second, From: 7, Beacon: false, Elapsed: 0, Hops: 0})
+	if got := checkCount(d, CheckReplay); got != 2 {
+		t.Fatalf("0-hop echo flagged (count %d)", got)
+	}
+}
+
+func TestNilDetectorAndMonitor(t *testing.T) {
+	var d *Detector
+	m := d.NewMonitor(1)
+	if m != nil {
+		t.Fatal("nil detector returned non-nil monitor")
+	}
+	if tp, fp := m.ObserveClaim(Claim{}); tp != 0 || fp != 0 {
+		t.Error("nil monitor returned verdicts")
+	}
+	if tp, fp := m.ObserveEcho(Echo{}); tp != 0 || fp != 0 {
+		t.Error("nil monitor returned echo verdicts")
+	}
+	if d.Summary() != nil {
+		t.Error("nil detector returned a summary")
+	}
+}
+
+func TestDetectorSinkAndLatency(t *testing.T) {
+	var got []Verdict
+	d := New(Config{
+		Truth: func(s uint64) bool { return s == attacker },
+		Sink:  func(v Verdict) { got = append(got, v) },
+	})
+	m := d.NewMonitor(1)
+	m.ObserveEcho(Echo{Now: 3 * time.Second, From: 5, Beacon: true})        // false alarm
+	m.ObserveEcho(Echo{Now: 7 * time.Second, From: attacker, Beacon: true}) // first true
+	s := d.Summary()
+	if !s.Detected || s.LatencySeconds != 7 {
+		t.Errorf("latency = %v detected = %v, want 7s detected", s.LatencySeconds, s.Detected)
+	}
+	if len(got) != 2 {
+		t.Fatalf("sink saw %d verdicts, want 2", len(got))
+	}
+	if got[0].True || !got[1].True {
+		t.Errorf("ground-truth labels wrong: %+v", got)
+	}
+	if got[0].Evidence == "" || got[0].CheckStr != "replay_recency" {
+		t.Errorf("sink verdict missing evidence/check: %+v", got[0])
+	}
+	if s.Checks["replay_recency"].FalsePositives != 1 || s.Checks["replay_recency"].TruePositives != 1 {
+		t.Errorf("check stats wrong: %+v", s.Checks)
+	}
+}
+
+func TestFold(t *testing.T) {
+	var f Fold
+	f.Add(&Summary{Verdicts: 10, Detected: true, LatencySeconds: 2,
+		Checks: map[string]CheckStats{"replay_recency": {TruePositives: 9, FalsePositives: 1}}})
+	f.Add(&Summary{Verdicts: 4, Detected: true, LatencySeconds: 4,
+		Checks: map[string]CheckStats{"loct_churn": {TruePositives: 4}}})
+	f.Add(&Summary{}) // attack missed this run
+	f.Add(nil)        // detection off
+	got := f.Result()
+	if got.Runs != 4 || got.DetectedRuns != 2 || got.Recall != 0.5 {
+		t.Errorf("fold counts wrong: %+v", got)
+	}
+	if got.MeanLatencySeconds != 3 {
+		t.Errorf("mean latency = %v, want 3", got.MeanLatencySeconds)
+	}
+	if got.Verdicts != 14 || got.FalseAlarmRuns != 1 || got.FalseAlarmRate != 0.25 {
+		t.Errorf("fold verdict tallies wrong: %+v", got)
+	}
+	if p := got.Checks["replay_recency"].Precision; p != 0.9 {
+		t.Errorf("replay precision = %v, want 0.9", p)
+	}
+	if p := got.Checks["loct_churn"].Precision; p != 1 {
+		t.Errorf("churn precision = %v, want 1", p)
+	}
+}
+
+func TestReplayOffline(t *testing.T) {
+	cfg := Config{Truth: func(s uint64) bool { return s == attacker }}
+	recs := []trace.Record{
+		// Node 1's own TX of packet (src=1, sn=5) with initial RHL 32.
+		{At: time.Second, Node: 1, Src: 1, SN: 5, Event: trace.EvTX, PType: trace.PTGeoBroadcast, RHL: 32},
+		// Benign beacon cadence at node 2 from source 3.
+		{At: 0, Node: 2, Peer: 3, Src: 3, Event: trace.EvRX, PType: trace.PTBeacon},
+		{At: 2250 * time.Millisecond, Node: 2, Peer: 3, Src: 3, Event: trace.EvRX, PType: trace.PTBeacon},
+		// Replayed copy 800µs later: beacon-gap violation, and the third
+		// arrival inside the 4s window also trips the churn budget.
+		{At: 2250*time.Millisecond + 800*time.Microsecond, Node: 2, Peer: attacker, Src: 3, Event: trace.EvRX, PType: trace.PTBeacon},
+		// Own packet back at node 1 claiming 31 hops in 1.3ms.
+		{At: time.Second + 1300*time.Microsecond, Node: 1, Peer: attacker, Src: 1, SN: 5,
+			Event: trace.EvDrop, Reason: trace.ReasonOwnEcho, PType: trace.PTGeoBroadcast, RHL: 1},
+		// Own beacon back at node 1: always flagged.
+		{At: 2 * time.Second, Node: 1, Peer: attacker, Src: 1, Event: trace.EvDrop,
+			Reason: trace.ReasonOwnEcho, PType: trace.PTBeacon},
+	}
+	d := Replay(recs, cfg)
+	s := d.Summary()
+	if !s.Detected {
+		t.Fatalf("offline replay missed the attack: %+v", s)
+	}
+	if got := s.Checks["beacon_interarrival"]; got.TruePositives != 1 || got.FalsePositives != 0 {
+		t.Errorf("beacon check = %+v, want 1 tp", got)
+	}
+	if got := s.Checks["replay_recency"]; got.TruePositives != 2 || got.FalsePositives != 0 {
+		t.Errorf("replay check = %+v, want 2 tp", got)
+	}
+	if got := s.Checks["loct_churn"]; got.TruePositives != 1 || got.FalsePositives != 0 {
+		t.Errorf("churn check = %+v, want 1 tp", got)
+	}
+	if s.Verdicts != 4 {
+		t.Errorf("verdicts = %d, want 4", s.Verdicts)
+	}
+}

@@ -1,0 +1,173 @@
+package detect
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/vanetsec/georoute/internal/geo"
+)
+
+// Claim is one neighbor-position assertion observed on a node's receive
+// path: a frame from link sender From carrying a position vector for Src.
+// Single marks single-hop claims (beacons/SHBs), the only ones the
+// inter-arrival, range, recency, and churn checks apply to — multi-hop
+// data packets legitimately carry their originator's PV from far away and
+// deliver duplicate copies under CBF.
+type Claim struct {
+	Now     time.Duration // arrival sim time
+	From    uint64        // link-layer sender (the suspect on violation)
+	Src     uint64        // claim subject (the PV's address)
+	Pos     geo.Point     // claimed position
+	TS      time.Duration // claimed PV timestamp
+	RxPos   geo.Point     // receiver's own position at arrival
+	RxRange float64       // receiver's radio range, meters
+	Single  bool          // beacon/SHB (direct-neighbor claim)
+}
+
+// Echo is a reception of the node's own packet (the router's own-echo
+// drop branch). Hops is the consumed hop budget (initial RHL minus the
+// received RHL); Elapsed is arrival time minus the packet's own
+// origination timestamp.
+type Echo struct {
+	Now     time.Duration
+	From    uint64 // link-layer sender (the suspect on violation)
+	Beacon  bool   // echoed packet was our own single-hop beacon
+	Elapsed time.Duration
+	Hops    int
+}
+
+// Monitor is one node's plausibility monitor. It keeps per-source
+// recency/cadence state internally (never reading the router's LocT) and
+// reports violations to its Detector. A nil Monitor is the disabled
+// state: both observe calls return immediately.
+type Monitor struct {
+	d    *Detector
+	node uint64
+	src  map[uint64]*srcState
+}
+
+// srcState is the monitor's memory of one claim source.
+type srcState struct {
+	haveBeacon bool
+	lastBeacon time.Duration // arrival time of the last single-hop claim
+	havePV     bool
+	lastTS     time.Duration   // newest claimed PV timestamp
+	lastPos    geo.Point       // position claimed at lastTS
+	arrivals   []time.Duration // single-hop claim arrivals inside the churn window
+}
+
+// ObserveClaim runs the claim-facing checks and returns the number of
+// true and false verdicts they produced, for the router to fold into its
+// Detected/FalseAlarms stats. Safe on nil.
+func (m *Monitor) ObserveClaim(c Claim) (tp, fp uint64) {
+	if m == nil {
+		return 0, 0
+	}
+	cfg := &m.d.cfg
+	st := m.src[c.Src]
+	if st == nil {
+		st = &srcState{}
+		m.src[c.Src] = st
+	}
+
+	if c.Single {
+		// Beacon inter-arrival floor.
+		if st.haveBeacon {
+			gap := c.Now - st.lastBeacon
+			cfg.BeaconGapHist.Observe(gap.Seconds())
+			if gap < cfg.MinBeaconGap {
+				t, f := m.d.flag(c.Now, m.node, c.From, CheckBeacon, func() string {
+					return fmt.Sprintf("beacons from %d arrived %v apart (floor %v)", c.Src, gap, cfg.MinBeaconGap)
+				})
+				tp += t
+				fp += f
+			}
+		}
+		st.haveBeacon = true
+		st.lastBeacon = c.Now
+
+		// Direct-neighbor range plausibility.
+		if d := c.Pos.DistanceTo(c.RxPos); d > cfg.RangeFactor*c.RxRange {
+			cfg.PosErrorHist.Observe(d - cfg.RangeFactor*c.RxRange)
+			t, f := m.d.flag(c.Now, m.node, c.From, CheckPosition, func() string {
+				return fmt.Sprintf("neighbor claim for %d at %.0fm exceeds %.1fx range %.0fm", c.Src, d, cfg.RangeFactor, c.RxRange)
+			})
+			tp += t
+			fp += f
+		}
+
+		// Stale-timestamp recency: a fresh direct claim must carry a
+		// strictly newer PV than the last one seen for that source.
+		if st.havePV && c.TS <= st.lastTS {
+			t, f := m.d.flag(c.Now, m.node, c.From, CheckReplay, func() string {
+				return fmt.Sprintf("claim for %d repeats PV timestamp %v (last %v)", c.Src, c.TS, st.lastTS)
+			})
+			tp += t
+			fp += f
+		}
+
+		// Claim-cadence churn: prune the window, then count this arrival.
+		keep := st.arrivals[:0]
+		for _, at := range st.arrivals {
+			if c.Now-at < cfg.ChurnWindow {
+				keep = append(keep, at)
+			}
+		}
+		st.arrivals = append(keep, c.Now)
+		if len(st.arrivals) > cfg.ChurnMax {
+			n := len(st.arrivals)
+			t, f := m.d.flag(c.Now, m.node, c.From, CheckChurn, func() string {
+				return fmt.Sprintf("%d neighbor claims for %d inside %v (max %d)", n, c.Src, cfg.ChurnWindow, cfg.ChurnMax)
+			})
+			tp += t
+			fp += f
+		}
+	}
+
+	// Implied-speed plausibility applies to every claim with a strictly
+	// newer timestamp (equal-timestamp duplicates carry zero motion
+	// information and are the replay check's business). The PosError
+	// allowance absorbs measurement noise: without it the check degrades
+	// into dist/dt, which is unbounded as dt→0.
+	if st.havePV && c.TS > st.lastTS {
+		dt := (c.TS - st.lastTS).Seconds()
+		dist := c.Pos.DistanceTo(st.lastPos)
+		if excess := dist - cfg.MaxSpeed*dt; excess > cfg.PosError {
+			cfg.PosErrorHist.Observe(excess)
+			t, f := m.d.flag(c.Now, m.node, c.From, CheckPosition, func() string {
+				return fmt.Sprintf("claims for %d moved %.0fm in %.2fs, %.0fm beyond the %.0f m/s envelope", c.Src, dist, dt, excess, cfg.MaxSpeed)
+			})
+			tp += t
+			fp += f
+		}
+	}
+	if !st.havePV || c.TS > st.lastTS {
+		st.havePV = true
+		st.lastTS = c.TS
+		st.lastPos = c.Pos
+	}
+	return tp, fp
+}
+
+// ObserveEcho runs the own-echo replay check. An echo of our own beacon
+// is always implausible (no honest node retransmits beacons, and the
+// radio never delivers to self); an echo of our own data packet is
+// implausible when its consumed hop budget could not fit in the elapsed
+// time at MinHopDelay per hop. Safe on nil.
+func (m *Monitor) ObserveEcho(e Echo) (tp, fp uint64) {
+	if m == nil {
+		return 0, 0
+	}
+	cfg := &m.d.cfg
+	switch {
+	case e.Beacon:
+		return m.d.flag(e.Now, m.node, e.From, CheckReplay, func() string {
+			return fmt.Sprintf("own beacon echoed back after %v", e.Elapsed)
+		})
+	case e.Hops >= 1 && e.Elapsed < time.Duration(e.Hops)*cfg.MinHopDelay:
+		return m.d.flag(e.Now, m.node, e.From, CheckReplay, func() string {
+			return fmt.Sprintf("own packet back after %v claiming %d hops (floor %v/hop)", e.Elapsed, e.Hops, cfg.MinHopDelay)
+		})
+	}
+	return 0, 0
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/vanetsec/georoute/internal/attack"
+	"github.com/vanetsec/georoute/internal/detect"
 	"github.com/vanetsec/georoute/internal/geo"
 	"github.com/vanetsec/georoute/internal/geonet"
 	"github.com/vanetsec/georoute/internal/metrics"
@@ -50,15 +51,31 @@ type RunResult struct {
 	// order so campaign aggregation reproduces them bit-identically.
 	LatencySumSeconds float64
 	LatencyCount      uint64
+	// Detection is the run's misbehavior-detection summary, present only
+	// when the run was observed with Observe.Detect. Like per-cell
+	// resources it lives outside the byte-identity surface: campaign
+	// aggregation folds it into detection.json, never summary.json.
+	Detection *detect.Summary `json:"Detection,omitempty"`
 }
 
 // Observe bundles the optional observability sinks of a run: the packet-
-// lifecycle tracer (internal/trace) and the runtime-health gauge bundle
-// (internal/telemetry). Either or both may be nil; the zero Observe is an
+// lifecycle tracer (internal/trace), the runtime-health gauge bundle
+// (internal/telemetry), and the misbehavior-detection monitors
+// (internal/detect). Everything may be nil/false; the zero Observe is an
 // unobserved run.
 type Observe struct {
 	Tracer *trace.Tracer
 	Gauges *telemetry.RunGauges
+	// Detect arms per-node plausibility monitors for the run. Ground
+	// truth is labeled from the scenario (the attacker's replay pseudonym
+	// on attack arms; no suspect is ever true on attack-free arms), and
+	// the run result gains a Detection summary. Pure observation: the
+	// measured series are bit-identical with detection on or off.
+	Detect bool
+	// Verdicts, when non-nil alongside Detect, receives every individual
+	// verdict (evidence rendered). Campaign runs leave it nil and keep
+	// only the aggregate summary.
+	Verdicts func(detect.Verdict)
 }
 
 // RunOnce executes a single seeded run of the scenario arm and returns
@@ -91,6 +108,23 @@ func RunOnceObserved(s Scenario, seed uint64, obs Observe) RunResult {
 		cfgRule = mitigation.RHLDropCheck{MaxDrop: s.RHLMaxDrop}
 	}
 
+	var det *detect.Detector
+	if obs.Detect {
+		dcfg := detect.Config{Sink: obs.Verdicts}
+		if s.AttackMode != attack.None {
+			// The attacker replays under its pseudonym from t=0; any
+			// verdict naming it is a true detection.
+			pseudonym := uint64(attack.DefaultPseudonym)
+			dcfg.Truth = func(suspect uint64) bool { return suspect == pseudonym }
+		}
+		if g := obs.Gauges; g != nil {
+			dcfg.LatencyHist = g.DetectLatency
+			dcfg.BeaconGapHist = g.DetectBeaconGap
+			dcfg.PosErrorHist = g.DetectPosError
+		}
+		det = detect.New(dcfg)
+	}
+
 	var w *vanet.World
 	var latSum float64
 	var latCount uint64
@@ -119,6 +153,7 @@ func RunOnceObserved(s Scenario, seed uint64, obs Observe) RunResult {
 		DuplicateRule:    cfgRule,
 		Tracer:           tr,
 		Telemetry:        obs.Gauges,
+		Detector:         det,
 		OnDeliver: func(addr geonet.Address, p *geonet.Packet) {
 			t, ok := reg[p.Key()]
 			if !ok {
@@ -283,6 +318,7 @@ func RunOnceObserved(s Scenario, seed uint64, obs Observe) RunResult {
 	if atk != nil {
 		res.AttackerStats = atk.Stats()
 	}
+	res.Detection = det.Summary()
 	return res
 }
 
@@ -361,6 +397,9 @@ func mergeRuns(out []RunResult) RunResult {
 		merged.LatencySumSeconds += r.LatencySumSeconds
 		merged.LatencyCount += r.LatencyCount
 	}
+	// Per-run detection summaries don't sum into one run's summary;
+	// arm-level folding is detect.Fold's job (campaign aggregation).
+	merged.Detection = nil
 	return merged
 }
 

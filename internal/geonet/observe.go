@@ -127,4 +127,6 @@ func (s *Stats) Add(o Stats) {
 	s.DecodeErrors += o.DecodeErrors
 	s.EchoesDropped += o.EchoesDropped
 	s.StopDropped += o.StopDropped
+	s.Detected += o.Detected
+	s.FalseAlarms += o.FalseAlarms
 }

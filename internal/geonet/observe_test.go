@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/vanetsec/georoute/internal/detect"
 	"github.com/vanetsec/georoute/internal/geo"
 	"github.com/vanetsec/georoute/internal/radio"
 	"github.com/vanetsec/georoute/internal/security"
@@ -60,6 +61,10 @@ func TestStatsAddCoversAllFields(t *testing.T) {
 // receiveFixture builds a router plus a cached signed beacon frame, the
 // simulator's hottest receive path.
 func receiveFixture(tb testing.TB, tr *trace.Tracer) (*Router, radio.Frame) {
+	return receiveFixtureMonitored(tb, tr, nil)
+}
+
+func receiveFixtureMonitored(tb testing.TB, tr *trace.Tracer, mon *detect.Monitor) (*Router, radio.Frame) {
 	tb.Helper()
 	engine := sim.NewEngine(1)
 	medium := radio.NewMedium(engine, radio.Config{})
@@ -73,6 +78,7 @@ func receiveFixture(tb testing.TB, tr *trace.Tracer) (*Router, radio.Frame) {
 		Position: func() geo.Point { return geo.Pt(0, 0) },
 		Range:    486,
 		Tracer:   tr,
+		Monitor:  mon,
 	})
 	rx.Start()
 	sender := ca.Enroll(2, 0)
@@ -96,6 +102,44 @@ func TestRouterReceiveAllocsNilTracer(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("receive path allocates %.1f/op with tracing disabled, want 0", allocs)
+	}
+}
+
+// TestRouterReceiveAllocsNilDetector asserts the same guarantee for the
+// detection subsystem: a disabled detector hands out nil monitors, and a
+// nil monitor keeps the cached-beacon receive path allocation-free.
+func TestRouterReceiveAllocsNilDetector(t *testing.T) {
+	var disabled *detect.Detector
+	rx, frame := receiveFixtureMonitored(t, nil, disabled.NewMonitor(1))
+	rx.Deliver(frame) // warm the decode/verify cache
+	allocs := testing.AllocsPerRun(200, func() {
+		rx.Deliver(frame)
+	})
+	if allocs != 0 {
+		t.Fatalf("receive path allocates %.1f/op with detection disabled, want 0", allocs)
+	}
+}
+
+// TestRouterReceiveMonitorFlagsReplay: delivering the same beacon frame
+// twice trips the stale-timestamp and inter-arrival checks, and the
+// verdicts fold into the router's Detected/FalseAlarms stats according to
+// the detector's ground-truth labeling.
+func TestRouterReceiveMonitorFlagsReplay(t *testing.T) {
+	det := detect.New(detect.Config{
+		Truth: func(suspect uint64) bool { return suspect == 2 },
+	})
+	rx, frame := receiveFixtureMonitored(t, nil, det.NewMonitor(1))
+	rx.Deliver(frame)
+	rx.Deliver(frame) // same PV again: stale timestamp + sub-floor gap
+	s := det.Summary()
+	if !s.Detected || s.Verdicts == 0 {
+		t.Fatalf("replayed beacon produced no verdicts: %+v", s)
+	}
+	if got := rx.Stats().Detected; got != s.Verdicts {
+		t.Errorf("router folded %d detected verdicts, detector saw %d", got, s.Verdicts)
+	}
+	if got := rx.Stats().FalseAlarms; got != 0 {
+		t.Errorf("router folded %d false alarms, want 0 (suspect is labeled attacker)", got)
 	}
 }
 

@@ -29,22 +29,65 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
 			lastName = m.name
 		}
-		bw.WriteString(m.name)
-		if len(m.labels) > 0 {
-			bw.WriteByte('{')
-			for i, l := range m.labels {
-				if i > 0 {
-					bw.WriteByte(',')
-				}
-				fmt.Fprintf(bw, "%s=%q", l.Key, l.Value)
-			}
-			bw.WriteByte('}')
+		if m.kind == kindHistogram {
+			writeHistogram(bw, m)
+			continue
 		}
+		bw.WriteString(m.name)
+		writeLabelBlock(bw, m.labels, "", "")
 		bw.WriteByte(' ')
 		bw.WriteString(formatValue(m.value()))
 		bw.WriteByte('\n')
 	}
 	return bw.Flush()
+}
+
+// writeLabelBlock renders {k="v",...}, optionally appending one extra
+// pair (the histogram le label). Writes nothing when there are no pairs.
+func writeLabelBlock(bw *bufio.Writer, labels []Label, extraKey, extraVal string) {
+	if len(labels) == 0 && extraKey == "" {
+		return
+	}
+	bw.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, "%s=%q", l.Key, l.Value)
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, "%s=%q", extraKey, extraVal)
+	}
+	bw.WriteByte('}')
+}
+
+// writeHistogram renders one histogram series as the conventional
+// name_bucket{le="..."} cumulative ladder plus name_sum and name_count.
+func writeHistogram(bw *bufio.Writer, m *metric) {
+	cum, total := m.hist.snapshot()
+	for i, c := range cum {
+		le := "+Inf"
+		if i < len(m.hist.bounds) {
+			le = formatValue(m.hist.bounds[i])
+		}
+		bw.WriteString(m.name)
+		bw.WriteString("_bucket")
+		writeLabelBlock(bw, m.labels, "le", le)
+		fmt.Fprintf(bw, " %d\n", c)
+	}
+	bw.WriteString(m.name)
+	bw.WriteString("_sum")
+	writeLabelBlock(bw, m.labels, "", "")
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(math.Float64frombits(m.hist.sumBits.Load())))
+	bw.WriteByte('\n')
+	bw.WriteString(m.name)
+	bw.WriteString("_count")
+	writeLabelBlock(bw, m.labels, "", "")
+	fmt.Fprintf(bw, " %d\n", total)
 }
 
 // escapeHelp escapes backslashes and newlines per the exposition format.
@@ -85,6 +128,10 @@ func (r *Registry) Snapshot() []Sample {
 	ms := r.snapshotMetrics()
 	out := make([]Sample, 0, len(ms))
 	for _, m := range ms {
+		if m.kind == kindHistogram {
+			out = append(out, histogramSamples(m)...)
+			continue
+		}
 		s := Sample{Name: m.name, Kind: m.kind.String(), Value: m.value()}
 		if len(m.labels) > 0 {
 			s.Labels = make(map[string]string, len(m.labels))
@@ -94,6 +141,42 @@ func (r *Registry) Snapshot() []Sample {
 		}
 		out = append(out, s)
 	}
+	return out
+}
+
+// histogramSamples expands one histogram series into the same flat
+// samples the Prometheus exposition emits: the cumulative _bucket ladder
+// (with le labels), then _sum and _count.
+func histogramSamples(m *metric) []Sample {
+	base := func(extra ...Label) map[string]string {
+		if len(m.labels)+len(extra) == 0 {
+			return nil
+		}
+		l := make(map[string]string, len(m.labels)+len(extra))
+		for _, p := range m.labels {
+			l[p.Key] = p.Value
+		}
+		for _, p := range extra {
+			l[p.Key] = p.Value
+		}
+		return l
+	}
+	cum, total := m.hist.snapshot()
+	out := make([]Sample, 0, len(cum)+2)
+	for i, c := range cum {
+		le := "+Inf"
+		if i < len(m.hist.bounds) {
+			le = formatValue(m.hist.bounds[i])
+		}
+		out = append(out, Sample{
+			Name: m.name + "_bucket", Kind: "histogram",
+			Labels: base(Label{Key: "le", Value: le}), Value: float64(c),
+		})
+	}
+	out = append(out,
+		Sample{Name: m.name + "_sum", Kind: "histogram", Labels: base(), Value: math.Float64frombits(m.hist.sumBits.Load())},
+		Sample{Name: m.name + "_count", Kind: "histogram", Labels: base(), Value: float64(total)},
+	)
 	return out
 }
 

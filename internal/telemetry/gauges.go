@@ -39,6 +39,12 @@ type RunGauges struct {
 	DeliveriesTotal *Counter // radio deliveries (incl. overhears)
 	PoolHits        *Counter // radio free-list hits (delivery+cache+payload)
 	PoolMisses      *Counter // radio free-list misses
+
+	// Misbehavior-detection distributions, shared across workers
+	// (observations are atomic, so fold order never matters).
+	DetectLatency   *Histogram // first-true-verdict sim time per run, seconds
+	DetectBeaconGap *Histogram // single-hop claim inter-arrival, seconds
+	DetectPosError  *Histogram // implausible claim displacement excess, meters
 }
 
 // NewRunGauges registers the per-run series on r for one worker slot.
@@ -90,6 +96,10 @@ func newRunGauges(r *Registry, labels ...Label) *RunGauges {
 		DeliveriesTotal: r.Counter("georoute_radio_deliveries_total", "Radio frame deliveries (including overhears), all workers."),
 		PoolHits:        r.Counter("georoute_radio_pool_hits_total", "Radio free-list reuse hits, all workers."),
 		PoolMisses:      r.Counter("georoute_radio_pool_misses_total", "Radio free-list misses (fresh allocations), all workers."),
+
+		DetectLatency:   r.Histogram("georoute_detect_latency_seconds", "Detection latency: sim time of the first true verdict per run.", LogBuckets(0.001, 4, 10)),
+		DetectBeaconGap: r.Histogram("georoute_detect_beacon_gap_seconds", "Single-hop neighbor-claim inter-arrival per source.", LogBuckets(0.0001, 4, 12)),
+		DetectPosError:  r.Histogram("georoute_detect_position_error_meters", "Claim displacement beyond the plausibility envelope.", LogBuckets(1, 4, 10)),
 	}
 }
 

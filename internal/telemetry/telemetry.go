@@ -40,24 +40,30 @@ type kind uint8
 const (
 	kindCounter kind = iota + 1
 	kindGauge
+	kindHistogram
 )
 
 func (k kind) String() string {
-	if k == kindCounter {
+	switch k {
+	case kindCounter:
 		return "counter"
+	case kindHistogram:
+		return "histogram"
 	}
 	return "gauge"
 }
 
 // metric is one registered time series: an identity plus an atomic value
 // cell. Counters store the value directly as a uint64; gauges store
-// math.Float64bits of the value.
+// math.Float64bits of the value. Histograms keep their state in hist and
+// leave bits unused.
 type metric struct {
 	name   string
 	help   string
 	kind   kind
 	labels []Label
 	bits   atomic.Uint64
+	hist   *histogramState
 }
 
 // id renders the metric's full identity (name plus sorted label pairs),

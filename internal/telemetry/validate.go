@@ -73,13 +73,31 @@ func ValidateExposition(r io.Reader) error {
 			return fmt.Errorf("line %d: malformed sample line: %q", lineNo, line)
 		}
 		name, labels, value := m[1], m[2], m[3]
+		needLE := false
 		if _, ok := types[name]; !ok {
-			return fmt.Errorf("line %d: sample %q has no preceding TYPE line", lineNo, name)
+			// Histogram (and summary) samples carry suffixed names whose
+			// TYPE line announces the base family: x_bucket/x_sum/x_count
+			// are valid under "# TYPE x histogram".
+			base, suffix := splitFamilySuffix(name)
+			typ, baseOK := types[base]
+			switch {
+			case baseOK && typ == "histogram" && (suffix == "_bucket" || suffix == "_sum" || suffix == "_count"):
+				needLE = suffix == "_bucket"
+			case baseOK && typ == "summary" && (suffix == "_sum" || suffix == "_count"):
+			default:
+				return fmt.Errorf("line %d: sample %q has no preceding TYPE line", lineNo, name)
+			}
 		}
+		var labelNames []string
 		if labels != "" {
-			if err := validateLabels(labels); err != nil {
+			var err error
+			labelNames, err = validateLabels(labels)
+			if err != nil {
 				return fmt.Errorf("line %d: %v", lineNo, err)
 			}
+		}
+		if needLE && !containsLabel(labelNames, "le") {
+			return fmt.Errorf("line %d: histogram sample %q missing le label", lineNo, name)
 		}
 		switch value {
 		case "+Inf", "-Inf", "NaN":
@@ -104,24 +122,47 @@ func ValidateExposition(r io.Reader) error {
 	return nil
 }
 
-// validateLabels checks a {k="v",...} block.
-func validateLabels(block string) error {
+// splitFamilySuffix peels a histogram/summary sample suffix off a metric
+// name, returning the base family name and the suffix ("" when none).
+func splitFamilySuffix(name string) (base, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, s) && len(name) > len(s) {
+			return name[:len(name)-len(s)], s
+		}
+	}
+	return name, ""
+}
+
+func containsLabel(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+// validateLabels checks a {k="v",...} block and returns the label names
+// it contains.
+func validateLabels(block string) ([]string, error) {
 	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
 	if inner == "" {
-		return nil
+		return nil, nil
 	}
+	var names []string
 	for len(inner) > 0 {
 		eq := strings.Index(inner, "=")
 		if eq < 0 {
-			return fmt.Errorf("label pair missing '=': %q", inner)
+			return nil, fmt.Errorf("label pair missing '=': %q", inner)
 		}
 		name := inner[:eq]
 		if !labelNameRE.MatchString(name) {
-			return fmt.Errorf("bad label name %q", name)
+			return nil, fmt.Errorf("bad label name %q", name)
 		}
+		names = append(names, name)
 		rest := inner[eq+1:]
 		if len(rest) == 0 || rest[0] != '"' {
-			return fmt.Errorf("label value for %q not quoted", name)
+			return nil, fmt.Errorf("label value for %q not quoted", name)
 		}
 		end := -1
 		for i := 1; i < len(rest); i++ {
@@ -135,14 +176,14 @@ func validateLabels(block string) error {
 			}
 		}
 		if end < 0 {
-			return fmt.Errorf("unterminated label value for %q", name)
+			return nil, fmt.Errorf("unterminated label value for %q", name)
 		}
 		inner = rest[end+1:]
 		if strings.HasPrefix(inner, ",") {
 			inner = inner[1:]
 		} else if inner != "" {
-			return fmt.Errorf("trailing garbage after label %q", name)
+			return nil, fmt.Errorf("trailing garbage after label %q", name)
 		}
 	}
-	return nil
+	return names, nil
 }
